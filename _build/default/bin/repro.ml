@@ -1,0 +1,221 @@
+(* The `repro` command-line tool: run the paper's experiments and print
+   its tables and figures.
+
+     repro list                      enumerate benchmarks
+     repro run -b 164.gzip           sweep one benchmark
+     repro table1 / table2           the paper's tables
+     repro figure -n 4               figure by number (3..7)
+     repro ablate -b 300.twolf       annotated vs baseline plan
+*)
+
+open Cmdliner
+
+let scale_conv =
+  let parse = function
+    | "small" -> Ok Benchmarks.Study.Small
+    | "medium" -> Ok Benchmarks.Study.Medium
+    | "large" -> Ok Benchmarks.Study.Large
+    | s -> Error (`Msg ("unknown scale: " ^ s))
+  in
+  Arg.conv (parse, fun ppf s -> Format.pp_print_string ppf (Benchmarks.Study.scale_to_string s))
+
+let scale_arg =
+  Arg.(value & opt scale_conv Benchmarks.Study.Medium
+       & info [ "s"; "scale" ] ~docv:"SCALE" ~doc:"Input scale: small, medium, large.")
+
+let bench_arg =
+  Arg.(required & opt (some string) None
+       & info [ "b"; "benchmark" ] ~docv:"NAME" ~doc:"Benchmark name, e.g. 164.gzip or gzip.")
+
+let find_study name =
+  match Benchmarks.Registry.find name with
+  | Some s -> Ok s
+  | None ->
+    Error (`Msg (Printf.sprintf "unknown benchmark %s (try: %s)" name
+                   (String.concat ", " Benchmarks.Registry.names)))
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (s : Benchmarks.Study.t) ->
+        Format.printf "%-12s  paper: %.2fx @ %d threads  —  %s@." s.Benchmarks.Study.spec_name
+          s.Benchmarks.Study.paper_speedup s.Benchmarks.Study.paper_threads
+          s.Benchmarks.Study.description)
+      Benchmarks.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the benchmark case studies.")
+    Term.(const run $ const ())
+
+let run_cmd =
+  let run name scale =
+    match find_study name with
+    | Error e -> Error e
+    | Ok study ->
+      let e = Core.Experiment.run ~scale study in
+      Core.Report.diagnostics Format.std_formatter e;
+      Ok ()
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Sweep one benchmark across thread counts.")
+    Term.(term_result (const run $ bench_arg $ scale_arg))
+
+let table1_cmd =
+  let run () = Core.Report.table1 Format.std_formatter Benchmarks.Registry.all in
+  Cmd.v (Cmd.info "table1" ~doc:"Print the paper's Table 1 (parallelization summary).")
+    Term.(const run $ const ())
+
+let table2_cmd =
+  let run scale =
+    let experiments = List.map (Core.Experiment.run ~scale) Benchmarks.Registry.all in
+    Core.Report.table2 Format.std_formatter experiments
+  in
+  Cmd.v (Cmd.info "table2" ~doc:"Reproduce Table 2 (best speedups vs Moore's law).")
+    Term.(const run $ scale_arg)
+
+let figure_benchmarks = function
+  | 4 -> Ok [ "181.mcf"; "253.perlbmk"; "255.vortex"; "256.bzip2" ]
+  | 5 -> Ok [ "176.gcc"; "254.gap" ]
+  | 6 -> Ok [ "175.vpr"; "186.crafty"; "197.parser"; "300.twolf" ]
+  | 7 -> Ok [ "164.gzip" ]
+  | n -> Error (`Msg (Printf.sprintf "no figure %d (3..7 exist)" n))
+
+let figure_cmd =
+  let number_arg =
+    Arg.(required & opt (some int) None
+         & info [ "n"; "number" ] ~docv:"N" ~doc:"Figure number (3-7).")
+  in
+  let run n scale =
+    if n = 3 then begin
+      Core.Report.figure3 Format.std_formatter (Machine.Config.default ~cores:8);
+      Ok ()
+    end
+    else
+      match figure_benchmarks n with
+      | Error e -> Error e
+      | Ok names ->
+        let studies = List.filter_map Benchmarks.Registry.find names in
+        let experiments = List.map (Core.Experiment.run ~scale) studies in
+        Core.Report.figure Format.std_formatter
+          ~title:(Printf.sprintf "Figure %d: speedup of MT over ST execution" n)
+          experiments;
+        Ok ()
+  in
+  Cmd.v (Cmd.info "figure" ~doc:"Reproduce a figure's data series.")
+    Term.(term_result (const run $ number_arg $ scale_arg))
+
+let ablate_cmd =
+  let run name scale =
+    match find_study name with
+    | Error e -> Error e
+    | Ok study ->
+      if study.Benchmarks.Study.baseline_plan = None then
+        Error (`Msg (name ^ " has no annotation-free baseline plan"))
+      else begin
+        let annotated = Core.Experiment.run ~scale study in
+        let baseline = Core.Experiment.run ~scale ~use_baseline_plan:true study in
+        Format.printf "with annotations:@.";
+        Core.Report.diagnostics Format.std_formatter annotated;
+        Format.printf "without annotations:@.";
+        Core.Report.diagnostics Format.std_formatter baseline;
+        Ok ()
+      end
+  in
+  Cmd.v
+    (Cmd.info "ablate" ~doc:"Compare a study's annotated plan with its baseline plan.")
+    Term.(term_result (const run $ bench_arg $ scale_arg))
+
+let gantt_cmd =
+  let threads_arg =
+    Arg.(value & opt int 8 & info [ "t"; "threads" ] ~docv:"N" ~doc:"Machine size.")
+  in
+  let run name scale threads =
+    match find_study name with
+    | Error e -> Error e
+    | Ok study ->
+      let profile = study.Benchmarks.Study.run ~scale in
+      let built = Core.Framework.build ~plan:study.Benchmarks.Study.plan profile in
+      List.iter
+        (function
+          | Sim.Input.Serial _ -> ()
+          | Sim.Input.Parallel loop ->
+            let r = Sim.Pipeline.run_loop (Machine.Config.default ~cores:threads) loop in
+            Format.printf "loop %s (span %d):@." loop.Sim.Input.name r.Sim.Pipeline.span;
+            Sim.Gantt.pp ~cores:threads Format.std_formatter r)
+        built.Core.Framework.input.Sim.Input.segments;
+      Ok ()
+  in
+  Cmd.v (Cmd.info "gantt" ~doc:"Render a benchmark's simulated schedule as ASCII Gantt rows.")
+    Term.(term_result (const run $ bench_arg $ scale_arg $ threads_arg))
+
+let chart_cmd =
+  let run name scale =
+    match find_study name with
+    | Error e -> Error e
+    | Ok study ->
+      let e = Core.Experiment.run ~scale study in
+      Core.Chart.pp Format.std_formatter [ e.Core.Experiment.series ];
+      Ok ()
+  in
+  Cmd.v (Cmd.info "chart" ~doc:"Plot a benchmark's speedup curve as an ASCII chart.")
+    Term.(term_result (const run $ bench_arg $ scale_arg))
+
+let auto_cmd =
+  let run name scale =
+    match find_study name with
+    | Error e -> Error e
+    | Ok study ->
+      let profile = study.Benchmarks.Study.run ~scale in
+      let trace = Profiling.Profile.trace profile in
+      List.iter
+        (fun (loop : Ir.Trace.loop) ->
+          let log = Profiling.Profile.log_of profile loop.Ir.Trace.loop_name in
+          let mem_edges = Profiling.Mem_profile.analyze log in
+          let profiles =
+            Speculation.Auto_plan.profile_locations
+              ~loc_name:(Profiling.Profile.loc_name profile) ~loop ~mem_edges
+          in
+          Format.printf "loop %s:@." loop.Ir.Trace.loop_name;
+          Speculation.Auto_plan.pp_profile Format.std_formatter profiles)
+        (Ir.Trace.loops trace);
+      Ok ()
+  in
+  Cmd.v
+    (Cmd.info "auto"
+       ~doc:"Show the profile-guided speculation decisions for a benchmark's loops.")
+    Term.(term_result (const run $ bench_arg $ scale_arg))
+
+let multistage_cmd =
+  let stages_arg =
+    Arg.(value & opt int 3 & info [ "k"; "stages" ] ~docv:"K" ~doc:"Pipeline stage count.")
+  in
+  let run name k =
+    match find_study name with
+    | Error e -> Error e
+    | Ok study ->
+      let pdg = study.Benchmarks.Study.pdg () in
+      let stages =
+        Dswp.Multi_stage.partition pdg ~stages:k
+          ~enabled:(Core.Framework.enabled_breakers study.Benchmarks.Study.plan)
+      in
+      Dswp.Multi_stage.pp pdg Format.std_formatter stages;
+      Format.printf "bottleneck weight %.3f; throughput bound at 32 threads %.1fx@."
+        (Dswp.Multi_stage.bottleneck stages)
+        (Dswp.Multi_stage.throughput_bound stages ~threads:32);
+      Ok ()
+  in
+  Cmd.v
+    (Cmd.info "multistage" ~doc:"Partition a benchmark's PDG into k pipeline stages.")
+    Term.(term_result (const run $ bench_arg $ stages_arg))
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info =
+    Cmd.info "repro" ~version:"1.0"
+      ~doc:"Reproduction of 'Revisiting the Sequential Programming Model for Multi-Core'."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [
+            list_cmd; run_cmd; table1_cmd; table2_cmd; figure_cmd; ablate_cmd; gantt_cmd;
+            chart_cmd; auto_cmd; multistage_cmd;
+          ]))

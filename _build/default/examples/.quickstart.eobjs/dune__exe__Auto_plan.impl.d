@@ -1,0 +1,1 @@
+examples/auto_plan.ml: Benchmarks Core Format List Printf Sim Speculation String

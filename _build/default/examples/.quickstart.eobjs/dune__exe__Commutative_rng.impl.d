@@ -1,0 +1,1 @@
+examples/commutative_rng.ml: Annotations Benchmarks Core Format List Sim

@@ -1,0 +1,1 @@
+examples/compression_pipeline.ml: Annotations Benchmarks Core Format Sim Simcore Workloads

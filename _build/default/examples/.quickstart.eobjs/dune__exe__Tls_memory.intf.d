@@ -1,0 +1,1 @@
+examples/tls_memory.mli:

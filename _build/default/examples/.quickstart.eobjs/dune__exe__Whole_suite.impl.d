@@ -1,0 +1,1 @@
+examples/whole_suite.ml: Array Benchmarks Core Format List Machine Sys

@@ -1,0 +1,1 @@
+examples/whole_suite.mli:

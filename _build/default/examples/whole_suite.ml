@@ -1,0 +1,37 @@
+(* Reproduce the paper's full evaluation in one run: Table 1, Table 2,
+   and the speedup series behind Figures 4-7.
+
+     dune exec examples/whole_suite.exe            (small inputs)
+     dune exec examples/whole_suite.exe -- medium  (bench-scale inputs)
+*)
+
+let () =
+  let scale =
+    match Array.to_list Sys.argv with
+    | _ :: "medium" :: _ -> Benchmarks.Study.Medium
+    | _ :: "large" :: _ -> Benchmarks.Study.Large
+    | _ -> Benchmarks.Study.Small
+  in
+  Format.printf "=== Execution plan (Figure 3) ===@.";
+  Core.Report.figure3 Format.std_formatter (Machine.Config.default ~cores:8);
+  Format.printf "@.=== Table 1 ===@.";
+  Core.Report.table1 Format.std_formatter Benchmarks.Registry.all;
+  let experiments = List.map (Core.Experiment.run ~scale) Benchmarks.Registry.all in
+  let by_names names =
+    List.filter
+      (fun (e : Core.Experiment.t) ->
+        List.mem e.Core.Experiment.study.Benchmarks.Study.spec_name names)
+      experiments
+  in
+  Format.printf "@.=== Figure 4 ===@.";
+  Core.Report.figure Format.std_formatter ~title:"mcf / perlbmk / vortex / bzip2"
+    (by_names [ "181.mcf"; "253.perlbmk"; "255.vortex"; "256.bzip2" ]);
+  Format.printf "@.=== Figure 5 ===@.";
+  Core.Report.figure Format.std_formatter ~title:"gcc / gap" (by_names [ "176.gcc"; "254.gap" ]);
+  Format.printf "@.=== Figure 6 ===@.";
+  Core.Report.figure Format.std_formatter ~title:"vpr / crafty / parser / twolf"
+    (by_names [ "175.vpr"; "186.crafty"; "197.parser"; "300.twolf" ]);
+  Format.printf "@.=== Figure 7 ===@.";
+  Core.Report.figure Format.std_formatter ~title:"gzip" (by_names [ "164.gzip" ]);
+  Format.printf "@.=== Table 2 ===@.";
+  Core.Report.table2 Format.std_formatter experiments

@@ -1,0 +1,1 @@
+lib/annotations/commutative.ml: Hashtbl List Option Printf

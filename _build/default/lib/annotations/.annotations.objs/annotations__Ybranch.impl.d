@@ -1,0 +1,1 @@
+lib/annotations/ybranch.ml: Float

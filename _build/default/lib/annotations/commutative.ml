@@ -1,0 +1,38 @@
+type entry = { group : string; rollback : string option }
+
+type t = { fns : (string, entry) Hashtbl.t }
+
+let create () = { fns = Hashtbl.create 16 }
+
+let annotate t ~fn ?group ?rollback () =
+  if Hashtbl.mem t.fns fn then invalid_arg ("Commutative.annotate: duplicate " ^ fn);
+  let group = Option.value ~default:fn group in
+  Hashtbl.add t.fns fn { group; rollback }
+
+let is_annotated t ~fn = Hashtbl.mem t.fns fn
+
+let group_of t ~fn = Option.map (fun e -> e.group) (Hashtbl.find_opt t.fns fn)
+
+let rollback_of t ~fn =
+  match Hashtbl.find_opt t.fns fn with Some e -> e.rollback | None -> None
+
+let groups t =
+  Hashtbl.fold (fun _ e acc -> e.group :: acc) t.fns [] |> List.sort_uniq compare
+
+let members t ~group =
+  Hashtbl.fold (fun fn e acc -> if e.group = group then fn :: acc else acc) t.fns []
+  |> List.sort compare
+
+let validate_speculative t =
+  let bad =
+    List.find_opt
+      (fun g ->
+        not
+          (Hashtbl.fold
+             (fun _ e acc -> acc || (e.group = g && e.rollback <> None))
+             t.fns false))
+      (groups t)
+  in
+  match bad with
+  | Some g -> Error (Printf.sprintf "group %s has no rollback function" g)
+  | None -> Ok ()

@@ -1,0 +1,41 @@
+(** The Commutative extension to the sequential programming model.
+
+    Annotating a function [Commutative] declares that calls to it may
+    execute in any order: outside the function, outputs depend only on
+    inputs, even though the function keeps internal state (an RNG seed, an
+    allocator free list, a cache).  Calls execute atomically; an optional
+    group argument states that several functions share internal state
+    (e.g. [malloc]/[free]) and must be atomic with respect to each other
+    (Section 2.3.2).
+
+    Under speculative execution a well-defined sequential order of calls
+    must survive rollback, so every group used speculatively needs a
+    rollback function (the paper's example: the rollback of [malloc] is
+    [free]).  {!validate_speculative} enforces this. *)
+
+type t
+(** A registry of annotated functions. *)
+
+val create : unit -> t
+
+val annotate : t -> fn:string -> ?group:string -> ?rollback:string -> unit -> unit
+(** Annotate function [fn]; [group] defaults to the function's own name.
+    Functions annotated with the same group share internal state.
+    Re-annotating an [fn] is an error. *)
+
+val is_annotated : t -> fn:string -> bool
+
+val group_of : t -> fn:string -> string option
+(** The shared-state group of an annotated function. *)
+
+val rollback_of : t -> fn:string -> string option
+
+val groups : t -> string list
+(** Distinct group names, sorted. *)
+
+val members : t -> group:string -> string list
+(** Functions in a group, sorted. *)
+
+val validate_speculative : t -> (unit, string) result
+(** Every group must contain at least one function with a rollback; the
+    error names the first offending group. *)

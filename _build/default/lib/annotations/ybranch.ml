@@ -1,0 +1,25 @@
+type t = { prob : float }
+
+let make ~probability =
+  if probability <= 0.0 || probability > 1.0 then
+    invalid_arg "Ybranch.make: probability must be in (0, 1]";
+  { prob = probability }
+
+let probability t = t.prob
+
+let interval t =
+  let i = int_of_float (Float.round (1.0 /. t.prob)) in
+  max 1 i
+
+let taken t ~condition ~since_last_taken =
+  if since_last_taken < 0 then invalid_arg "Ybranch.taken: negative count";
+  condition || since_last_taken >= interval t
+
+type outcome = { taken_by_condition : int; taken_by_compiler : int; not_taken : int }
+
+let empty_outcome = { taken_by_condition = 0; taken_by_compiler = 0; not_taken = 0 }
+
+let observe o ~condition ~compiler_took =
+  if condition then { o with taken_by_condition = o.taken_by_condition + 1 }
+  else if compiler_took then { o with taken_by_compiler = o.taken_by_compiler + 1 }
+  else { o with not_taken = o.not_taken + 1 }

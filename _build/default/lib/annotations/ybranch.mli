@@ -1,0 +1,38 @@
+(** The Y-branch extension to the sequential programming model.
+
+    [@YBRANCH(probability=p)] on a branch tells the compiler that, for any
+    dynamic instance, the {e true} path may legally be taken regardless of
+    the branch condition (Section 2.3.1; Wang et al.).  The probability
+    argument communicates how often taking the true path is desirable —
+    e.g. [p = 0.00001] on a dictionary-restart branch says the dictionary
+    should survive at least ~100000 characters.
+
+    The compiler exploits a Y-branch by choosing its own deterministic
+    policy for taking the true path — typically a fixed interval derived
+    from the probability — thereby cutting a loop-carried dependence at
+    points of its choosing (e.g. restarting a compression dictionary at
+    block boundaries so blocks compress independently). *)
+
+type t
+
+val make : probability:float -> t
+(** Requires [0 < probability <= 1]. *)
+
+val probability : t -> float
+
+val interval : t -> int
+(** The compiler's derived cut interval: [round (1 / probability)]. *)
+
+val taken : t -> condition:bool -> since_last_taken:int -> bool
+(** The branch outcome compiler-generated code uses: the original
+    condition still forces the true path (semantics preserved), and the
+    compiler additionally takes it once [since_last_taken] reaches
+    {!interval}.  Legal because a Y-branch permits the true path on any
+    dynamic instance. *)
+
+type outcome = { taken_by_condition : int; taken_by_compiler : int; not_taken : int }
+(** Aggregate counts a profiling run can report. *)
+
+val empty_outcome : outcome
+
+val observe : outcome -> condition:bool -> compiler_took:bool -> outcome

@@ -1,0 +1,1 @@
+lib/benchmarks/b164_gzip.ml: Ir Profiling Simcore Speculation String Study Workloads

@@ -1,0 +1,1 @@
+lib/benchmarks/b164_gzip.mli: Profiling Study

@@ -1,0 +1,1 @@
+lib/benchmarks/b175_vpr.ml: Annotations Driver_util Ir List Printf Profiling Speculation Study Workloads

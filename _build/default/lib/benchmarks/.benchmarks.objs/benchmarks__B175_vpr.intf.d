@@ -1,0 +1,1 @@
+lib/benchmarks/b175_vpr.mli: Study

@@ -1,0 +1,1 @@
+lib/benchmarks/b176_gcc.ml: Annotations Ir List Option Profiling Speculation Study Workloads

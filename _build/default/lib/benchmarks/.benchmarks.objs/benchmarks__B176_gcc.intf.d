@@ -1,0 +1,1 @@
+lib/benchmarks/b176_gcc.mli: Profiling Study

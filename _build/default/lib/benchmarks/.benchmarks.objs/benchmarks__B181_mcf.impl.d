@@ -1,0 +1,1 @@
+lib/benchmarks/b181_mcf.ml: Ir List Printf Profiling Speculation String Study Workloads

@@ -1,0 +1,1 @@
+lib/benchmarks/b181_mcf.mli: Study

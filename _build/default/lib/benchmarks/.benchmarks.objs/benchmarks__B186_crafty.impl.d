@@ -1,0 +1,1 @@
+lib/benchmarks/b186_crafty.ml: Annotations Ir List Profiling Speculation Study Workloads

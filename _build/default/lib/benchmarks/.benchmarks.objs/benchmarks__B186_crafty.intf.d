@@ -1,0 +1,1 @@
+lib/benchmarks/b186_crafty.mli: Profiling Study

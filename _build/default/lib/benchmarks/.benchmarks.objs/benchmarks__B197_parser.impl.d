@@ -1,0 +1,1 @@
+lib/benchmarks/b197_parser.ml: Annotations Ir List Profiling Simcore Speculation Study Workloads

@@ -1,0 +1,1 @@
+lib/benchmarks/b197_parser.mli: Profiling Study

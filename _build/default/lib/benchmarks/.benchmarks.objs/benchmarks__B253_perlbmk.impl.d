@@ -1,0 +1,1 @@
+lib/benchmarks/b253_perlbmk.ml: Ir List Printf Profiling Speculation Study Workloads

@@ -1,0 +1,1 @@
+lib/benchmarks/b253_perlbmk.mli: Study

@@ -1,0 +1,1 @@
+lib/benchmarks/b254_gap.ml: Annotations Array Ir List Printf Profiling Simcore Speculation Study Workloads

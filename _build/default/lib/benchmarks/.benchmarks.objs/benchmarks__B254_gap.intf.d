@@ -1,0 +1,1 @@
+lib/benchmarks/b254_gap.mli: Profiling Study

@@ -1,0 +1,1 @@
+lib/benchmarks/b255_vortex.ml: Array Ir Printf Profiling Simcore Speculation Study Workloads

@@ -1,0 +1,1 @@
+lib/benchmarks/b255_vortex.mli: Study

@@ -1,0 +1,1 @@
+lib/benchmarks/b256_bzip2.ml: Hashtbl Ir List Option Profiling Simcore Speculation String Study Workloads

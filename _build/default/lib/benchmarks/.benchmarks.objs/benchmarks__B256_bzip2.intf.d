@@ -1,0 +1,1 @@
+lib/benchmarks/b256_bzip2.mli: Study

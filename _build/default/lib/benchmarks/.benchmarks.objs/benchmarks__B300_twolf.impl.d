@@ -1,0 +1,1 @@
+lib/benchmarks/b300_twolf.ml: Annotations Driver_util Ir List Printf Profiling Speculation Study Workloads

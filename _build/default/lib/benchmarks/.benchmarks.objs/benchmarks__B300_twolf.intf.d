@@ -1,0 +1,1 @@
+lib/benchmarks/b300_twolf.mli: Profiling Study

@@ -1,0 +1,1 @@
+lib/benchmarks/driver_util.mli: Profiling

@@ -1,0 +1,1 @@
+lib/benchmarks/registry.ml: B164_gzip B175_vpr B176_gcc B181_mcf B186_crafty B197_parser B253_perlbmk B254_gap B255_vortex B256_bzip2 B300_twolf List String Study

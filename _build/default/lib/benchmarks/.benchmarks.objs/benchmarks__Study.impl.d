@@ -1,0 +1,1 @@
+lib/benchmarks/study.ml: Ir Profiling Speculation

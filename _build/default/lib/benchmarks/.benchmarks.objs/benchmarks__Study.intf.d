@@ -1,0 +1,1 @@
+lib/benchmarks/study.mli: Ir Profiling Speculation

@@ -1,0 +1,136 @@
+let functions ~scale = Study.iterations_for scale ~small:30 ~medium:90 ~large:200
+
+let obstack_base = 4242
+
+let run_with_label_scheme ~per_function_labels ~scale =
+  let p = Profiling.Profile.create ~name:"176.gcc" in
+  let symtab = Profiling.Profile.loc p "global_symbol_table" in
+  let perm_obstack = Profiling.Profile.loc p "permanent_obstack" in
+  let obstack = Profiling.Profile.loc p "function_obstack" in
+  let label_num = Profiling.Profile.loc p "label_num" in
+  let asm_out = Profiling.Profile.loc p "asm_file" in
+  let label_counter = ref 0 in
+  Profiling.Profile.serial_work p 250 (* driver + preprocessor startup *);
+  Profiling.Profile.begin_loop p "yyparse";
+  for i = 0 to functions ~scale - 1 do
+    let source = Workloads.Minicc.gen_source ~seed:(1760 + i) ~functions:1 in
+    let fu, tokens =
+      match Workloads.Minicc.front_end source with
+      | Ok ([ fu ], tokens) -> (fu, tokens)
+      | Ok _ | Error _ -> failwith "b176_gcc: generator produced unparsable source"
+    in
+    (* Phase A: the parse actions up to finish_function. *)
+    ignore (Profiling.Profile.begin_task p ~iteration:i ~phase:Ir.Task.A ());
+    Profiling.Profile.work p (1 + (tokens / 2));
+    if not per_function_labels then begin
+      Profiling.Profile.read p label_num;
+      Profiling.Profile.write p label_num !label_counter;
+      label_counter := !label_counter + 1
+    end;
+    Profiling.Profile.end_task p;
+    (* Phase B: rest_of_compilation's optimization sequence. *)
+    ignore (Profiling.Profile.begin_task p ~iteration:i ~phase:Ir.Task.B ());
+    let optimized, report =
+      Profiling.Profile.commutative p ~group:"symtab" (fun () ->
+          Profiling.Profile.read p symtab;
+          let r = Workloads.Minicc.optimize fu in
+          Profiling.Profile.write p symtab (i + 1);
+          r)
+    in
+    Profiling.Profile.commutative p ~group:"permanent_obstack" (fun () ->
+        Profiling.Profile.read p perm_obstack;
+        Profiling.Profile.work p (List.length fu.Workloads.Minicc.quads);
+        Profiling.Profile.write p perm_obstack (i + 1));
+    (* Non-permanent obstacks are reset after each function: their
+       pointers are value-predicted across the parallel stage. *)
+    Profiling.Profile.read p obstack;
+    Profiling.Profile.write p obstack (obstack_base + i + 1);
+    (* The linear passes run several times each in rest_of_compilation;
+       the quadratic CSE pass runs once. *)
+    let cse_work =
+      Option.value ~default:0 (List.assoc_opt "cse" report.Workloads.Minicc.pass_work)
+    in
+    let linear_work = report.Workloads.Minicc.total_work - cse_work in
+    Profiling.Profile.work p ((19 * linear_work) + (3 * cse_work));
+    if not per_function_labels then begin
+      Profiling.Profile.read p label_num;
+      Profiling.Profile.write p label_num !label_counter;
+      label_counter := !label_counter + 1
+    end;
+    Profiling.Profile.write p obstack obstack_base;
+    Profiling.Profile.end_task p;
+    (* Phase C: print the assembly. *)
+    ignore (Profiling.Profile.begin_task p ~iteration:i ~phase:Ir.Task.C ());
+    let label_start = if per_function_labels then 0 else !label_counter in
+    let _asm, labels_used, emit_work =
+      Workloads.Minicc.emit optimized ~label_start
+    in
+    if not per_function_labels then begin
+      Profiling.Profile.read p label_num;
+      label_counter := !label_counter + labels_used;
+      Profiling.Profile.write p label_num !label_counter
+    end;
+    Profiling.Profile.read p asm_out;
+    Profiling.Profile.work p (2 * emit_work);
+    Profiling.Profile.write p asm_out i;
+    Profiling.Profile.end_task p
+  done;
+  Profiling.Profile.end_loop p;
+  Profiling.Profile.serial_work p 120;
+  p
+
+let pdg () =
+  let g = Ir.Pdg.create "176.gcc yyparse" in
+  let parse = Ir.Pdg.add_node g ~label:"parse_function" ~weight:0.1 () in
+  let optimize =
+    Ir.Pdg.add_node g ~label:"rest_of_compilation" ~weight:0.85 ~replicable:true ()
+  in
+  let print = Ir.Pdg.add_node g ~label:"print_assembly" ~weight:0.05 () in
+  Ir.Pdg.add_edge g ~src:parse ~dst:optimize ~kind:Ir.Dep.Memory ();
+  Ir.Pdg.add_edge g ~src:optimize ~dst:print ~kind:Ir.Dep.Memory ();
+  Ir.Pdg.add_edge g ~src:parse ~dst:parse ~kind:Ir.Dep.Register ~loop_carried:true ();
+  Ir.Pdg.add_edge g ~src:print ~dst:print ~kind:Ir.Dep.Memory ~loop_carried:true ();
+  (* Symbol table and permanent obstack: Commutative. *)
+  Ir.Pdg.add_edge g ~src:optimize ~dst:optimize ~kind:Ir.Dep.Memory ~loop_carried:true
+    ~probability:1.0 ~breaker:(Ir.Pdg.Commutative_annotation "symtab") ();
+  (* Other obstacks: value-predicted around the stage. *)
+  Ir.Pdg.add_edge g ~src:optimize ~dst:optimize ~kind:Ir.Dep.Memory ~loop_carried:true
+    ~probability:1.0 ~breaker:Ir.Pdg.Value_speculation ();
+  (* Bit-field false sharing (public_flag / static_flag): handled by
+     field expansion, modelled as alias speculation. *)
+  Ir.Pdg.add_edge g ~src:optimize ~dst:optimize ~kind:Ir.Dep.Memory ~loop_carried:true
+    ~probability:0.1 ~breaker:Ir.Pdg.Alias_speculation ();
+  g
+
+let commutative_registry () =
+  let c = Annotations.Commutative.create () in
+  Annotations.Commutative.annotate c ~fn:"symtab_lookup_insert" ~group:"symtab"
+    ~rollback:"symtab_remove" ();
+  Annotations.Commutative.annotate c ~fn:"permanent_obstack_alloc"
+    ~group:"permanent_obstack" ~rollback:"permanent_obstack_free" ();
+  c
+
+let study =
+  {
+    Study.spec_name = "176.gcc";
+    description = "C compiler; per-function optimization runs in parallel once the \
+                   symbol table is Commutative and label_num becomes per-function";
+    loops =
+      [ { Study.li_function = "yyparse"; li_location = "c-parse.c:1396-3380"; li_exec_time = "95%" } ];
+    lines_changed_all = 18;
+    lines_changed_model = 8;
+    techniques = [ "Commutative"; "Alias & Control Speculation"; "TLS Memory"; "DSWP" ];
+    paper_speedup = 5.06;
+    paper_threads = 16;
+    run = (fun ~scale -> run_with_label_scheme ~per_function_labels:true ~scale);
+    plan =
+      Speculation.Spec_plan.make ~alias:Speculation.Spec_plan.Alias_all
+        ~value_locs:[ "function_obstack" ] ~control_speculated:true
+        ~commutative:(commutative_registry ()) ();
+    baseline_plan =
+      Some
+        (Speculation.Spec_plan.make ~alias:Speculation.Spec_plan.Alias_all
+           ~value_locs:[ "function_obstack" ] ~control_speculated:true ());
+    pdg;
+    pdg_expected_parallel = [ "rest_of_compilation" ];
+  }

@@ -1,0 +1,18 @@
+(** 176.gcc — optimizing C compiler (paper Section 4.2.1, Figure 5).
+
+    The optimization sequence runs per function with no interprocedural
+    state, so functions optimize in parallel: phase A parses the next
+    function, phase B runs rest_of_compilation's pass sequence (quadratic
+    passes dominate, and function sizes are heavy-tailed), phase C prints
+    assembly in order.  The symbol table and the permanent obstack's
+    allocator are annotated Commutative; the other obstacks are
+    value-predicted across the parallel stage; and the global label
+    counter is restructured into (function, number) pairs — the paper's
+    legal, output-changing model extension. *)
+
+val study : Study.t
+
+val run_with_label_scheme : per_function_labels:bool -> scale:Study.scale -> Profiling.Profile.t
+(** With [per_function_labels:false], the global [label_num] counter
+    dependence stays in the trace and serializes every function
+    (ablation of the model change). *)

@@ -1,0 +1,16 @@
+(** 181.mcf — single-depot vehicle scheduling as min-cost flow
+    (paper Section 4.1.4, Figure 4).
+
+    The runtime splits between the simplex-style solver (65-75%) and arc
+    pricing (25-35%).  Our solver's relaxation sweeps map to the
+    simplex's limited inner parallelism: arcs within one sweep relax in
+    parallel, but sweeps chain through the distance array, so each loop
+    behaves like primal_net_simplex's barrier-limited parallelization.
+    Pricing loops parallelize well once the arc-mark update moves into
+    phase A, as the paper prescribes for price_out_impl. *)
+
+val study : Study.t
+
+val work_split : scale:Study.scale -> float
+(** Fraction of total traced work spent in pricing loops (the paper's
+    price_out_impl share: 25-35%). *)

@@ -1,0 +1,152 @@
+let degree = 40
+
+let initial_keys = 4000
+
+let deletes ~scale = Study.iterations_for scale ~small:260 ~medium:700 ~large:1800
+
+let creates ~scale = Study.iterations_for scale ~small:140 ~medium:380 ~large:1000
+
+let key_space = 100000
+
+(* Alias speculation conflicts are per-subtree: a restructure only
+   collides with operations whose keys fall in the same key region. *)
+let regions = 32
+
+let region_of key = key * regions / key_space
+
+let status_normal = 0
+
+let build_tree rng =
+  let tree = Workloads.Btree.create ~degree in
+  let setup_work = ref 0 in
+  for _ = 1 to initial_keys do
+    let k = Simcore.Rng.int rng key_space in
+    let r = Workloads.Btree.insert tree ~key:k ~value:k in
+    setup_work := !setup_work + r.Workloads.Btree.work
+  done;
+  (tree, !setup_work)
+
+type op_stats = { mutable ops : int; mutable restructures : int }
+
+let instrument_op p ~iteration ~stats ~region ~status ~chunk_table ~commit_loc
+    (report : Workloads.Btree.report) ~is_create ~chunk_expansion =
+  (* Phase A: draw the part number (vortex uses a random number here). *)
+  ignore (Profiling.Profile.begin_task p ~iteration ~phase:Ir.Task.A ());
+  Profiling.Profile.work p 3;
+  Profiling.Profile.end_task p;
+  (* Phase B: the database operation. *)
+  ignore (Profiling.Profile.begin_task p ~iteration ~phase:Ir.Task.B ());
+  Profiling.Profile.read p status;
+  Profiling.Profile.read p region;
+  if is_create then Profiling.Profile.read p chunk_table;
+  Profiling.Profile.work p (6 * report.Workloads.Btree.work);
+  stats.ops <- stats.ops + 1;
+  if report.Workloads.Btree.restructured then begin
+    stats.restructures <- stats.restructures + 1;
+    Profiling.Profile.write p region iteration
+  end;
+  if chunk_expansion then Profiling.Profile.write p chunk_table iteration;
+  (* Every routine writes STATUS back; it is almost always NORMAL. *)
+  Profiling.Profile.write p status status_normal;
+  Profiling.Profile.end_task p;
+  (* Phase C: transaction commit record. *)
+  ignore (Profiling.Profile.begin_task p ~iteration ~phase:Ir.Task.C ());
+  Profiling.Profile.read p commit_loc;
+  Profiling.Profile.work p 2;
+  Profiling.Profile.write p commit_loc iteration;
+  Profiling.Profile.end_task p
+
+let run_with_stats ~scale =
+  let rng = Simcore.Rng.create 255 in
+  let p = Profiling.Profile.create ~name:"255.vortex" in
+  let region_loc k =
+    Profiling.Profile.loc p (Printf.sprintf "btree_region_%d" (region_of k))
+  in
+  let status = Profiling.Profile.loc p "STATUS" in
+  let chunk_table = Profiling.Profile.loc p "chunk_table" in
+  let commit_loc = Profiling.Profile.loc p "commit_log" in
+  let stats = { ops = 0; restructures = 0 } in
+  let tree, setup_work = build_tree rng in
+  Profiling.Profile.serial_work p (setup_work / 6) (* database mmap + warmup *);
+  (* Lookup phase: reads only, cheap; vortex spends ~10% of the BMT loop
+     here and the paper does not parallelize it. *)
+  let lookup_work = ref 0 in
+  for _ = 1 to deletes ~scale / 8 do
+    let k = Simcore.Rng.int rng key_space in
+    let _, r = Workloads.Btree.lookup tree ~key:k in
+    lookup_work := !lookup_work + (4 * r.Workloads.Btree.work)
+  done;
+  Profiling.Profile.serial_work p !lookup_work;
+  (* BMT_DeleteParts: ~70% of the runtime.  Most deletes target parts
+     that exist (drawn from the loaded key population). *)
+  Profiling.Profile.begin_loop p "BMT_DeleteParts";
+  let present = Array.of_list (Workloads.Btree.keys tree) in
+  for i = 0 to deletes ~scale - 1 do
+    let k =
+      if Array.length present > 0 && Simcore.Rng.chance rng 0.6 then
+        Simcore.Rng.pick rng present
+      else Simcore.Rng.int rng key_space
+    in
+    let report = Workloads.Btree.delete tree ~key:k in
+    instrument_op p ~iteration:i ~stats ~region:(region_loc k) ~status ~chunk_table
+      ~commit_loc report ~is_create:false ~chunk_expansion:false
+  done;
+  Profiling.Profile.end_loop p;
+  (* BMT_CreateParts: ~20%; every 40th create expands a memory chunk. *)
+  Profiling.Profile.begin_loop p "BMT_CreateParts";
+  for i = 0 to creates ~scale - 1 do
+    let k = Simcore.Rng.int rng key_space in
+    let report = Workloads.Btree.insert tree ~key:k ~value:k in
+    instrument_op p ~iteration:i ~stats ~region:(region_loc k) ~status ~chunk_table
+      ~commit_loc report ~is_create:true ~chunk_expansion:(i > 0 && i mod 40 = 0)
+  done;
+  Profiling.Profile.end_loop p;
+  Profiling.Profile.serial_work p 300;
+  (p, stats)
+
+let run ~scale = fst (run_with_stats ~scale)
+
+let restructure_rate ~scale =
+  let _, stats = run_with_stats ~scale in
+  if stats.ops = 0 then 0.0 else float_of_int stats.restructures /. float_of_int stats.ops
+
+let pdg () =
+  let g = Ir.Pdg.create "255.vortex BMT loops" in
+  let draw = Ir.Pdg.add_node g ~label:"draw_part" ~weight:0.03 () in
+  let op = Ir.Pdg.add_node g ~label:"db_operation" ~weight:0.94 ~replicable:true () in
+  let commit = Ir.Pdg.add_node g ~label:"commit_record" ~weight:0.03 () in
+  Ir.Pdg.add_edge g ~src:draw ~dst:op ~kind:Ir.Dep.Register ();
+  Ir.Pdg.add_edge g ~src:op ~dst:commit ~kind:Ir.Dep.Memory ();
+  Ir.Pdg.add_edge g ~src:draw ~dst:draw ~kind:Ir.Dep.Register ~loop_carried:true ();
+  Ir.Pdg.add_edge g ~src:commit ~dst:commit ~kind:Ir.Dep.Memory ~loop_carried:true ();
+  (* STATUS around the backedge: value-speculable (always NORMAL). *)
+  Ir.Pdg.add_edge g ~src:op ~dst:op ~kind:Ir.Dep.Memory ~loop_carried:true
+    ~probability:1.0 ~breaker:Ir.Pdg.Value_speculation ();
+  (* Rare rebalances and chunk expansions: alias-speculated. *)
+  Ir.Pdg.add_edge g ~src:op ~dst:op ~kind:Ir.Dep.Memory ~loop_carried:true
+    ~probability:0.05 ~breaker:Ir.Pdg.Alias_speculation ();
+  g
+
+let study =
+  {
+    Study.spec_name = "255.vortex";
+    description = "object database; create/delete transactions run in parallel, \
+                   STATUS is value-speculated, rare B-tree rebalances serialize";
+    loops =
+      [
+        { Study.li_function = "BMT_CreateParts"; li_location = "bmt01.c:82-252"; li_exec_time = "20%" };
+        { Study.li_function = "BMT_DeleteParts"; li_location = "bmt10.c:371-393"; li_exec_time = "70%" };
+      ];
+    lines_changed_all = 0;
+    lines_changed_model = 0;
+    techniques = [ "Alias & Value Speculation"; "TLS Memory"; "DSWP" ];
+    paper_speedup = 4.92;
+    paper_threads = 32;
+    run;
+    plan =
+      Speculation.Spec_plan.make ~alias:Speculation.Spec_plan.Alias_all
+        ~value_locs:[ "STATUS" ] ();
+    baseline_plan = None;
+    pdg;
+    pdg_expected_parallel = [ "db_operation" ];
+  }

@@ -1,0 +1,15 @@
+(** 255.vortex — object-oriented database transactions (paper Section
+    4.1.2, Figure 4).
+
+    The create/delete loops of BMT_Test run their iterations in parallel.
+    The ubiquitous [STATUS] out-parameter is value-speculated to NORMAL
+    around the backedge; alias speculation covers the rare B-tree
+    rebalances and memory-chunk expansions, whose occasional dynamic
+    occurrences are the scaling limit. *)
+
+val study : Study.t
+
+val restructure_rate : scale:Study.scale -> float
+(** Fraction of create/delete operations that restructured the tree in
+    the generated run (the paper's "rare rebalance" premise; should be a
+    few percent). *)

@@ -1,0 +1,26 @@
+let all =
+  [
+    B164_gzip.study;
+    B175_vpr.study;
+    B176_gcc.study;
+    B181_mcf.study;
+    B186_crafty.study;
+    B197_parser.study;
+    B253_perlbmk.study;
+    B254_gap.study;
+    B255_vortex.study;
+    B256_bzip2.study;
+    B300_twolf.study;
+  ]
+
+let short_name spec =
+  match String.index_opt spec '.' with
+  | Some i -> String.sub spec (i + 1) (String.length spec - i - 1)
+  | None -> spec
+
+let find name =
+  List.find_opt
+    (fun (s : Study.t) -> s.Study.spec_name = name || short_name s.Study.spec_name = name)
+    all
+
+let names = List.map (fun (s : Study.t) -> s.Study.spec_name) all

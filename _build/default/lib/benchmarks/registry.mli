@@ -1,0 +1,8 @@
+(** All eleven SPEC CINT2000 case studies, in the paper's Table 2 order. *)
+
+val all : Study.t list
+
+val find : string -> Study.t option
+(** Lookup by SPEC name ("164.gzip") or short name ("gzip"). *)
+
+val names : string list

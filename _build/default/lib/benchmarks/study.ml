@@ -1,0 +1,24 @@
+type scale = Small | Medium | Large
+
+type loop_info = { li_function : string; li_location : string; li_exec_time : string }
+
+type t = {
+  spec_name : string;
+  description : string;
+  loops : loop_info list;
+  lines_changed_all : int;
+  lines_changed_model : int;
+  techniques : string list;
+  paper_speedup : float;
+  paper_threads : int;
+  run : scale:scale -> Profiling.Profile.t;
+  plan : Speculation.Spec_plan.t;
+  baseline_plan : Speculation.Spec_plan.t option;
+  pdg : unit -> Ir.Pdg.t;
+  pdg_expected_parallel : string list;
+}
+
+let scale_to_string = function Small -> "small" | Medium -> "medium" | Large -> "large"
+
+let iterations_for scale ~small ~medium ~large =
+  match scale with Small -> small | Medium -> medium | Large -> large

@@ -1,0 +1,44 @@
+(** One benchmark case study: a workload, its parallelization, and the
+    paper's reference results.
+
+    Each of the 11 SPEC CINT2000 C benchmarks from Section 4 is described
+    by one value of this type: how to run the instrumented mini-workload,
+    the speculation/annotation plan the paper's framework would choose,
+    the loop's static PDG (so the DSWP partitioner can be validated
+    against the paper's phase assignment), and the Table 1 / Table 2
+    reference data. *)
+
+type scale = Small | Medium | Large
+(** Input sizing: [Small] for tests, [Medium] for the bench harness,
+    [Large] for longer experiments. *)
+
+type loop_info = {
+  li_function : string;  (** e.g. "deflate" *)
+  li_location : string;  (** e.g. "deflate.c:664-762" *)
+  li_exec_time : string;  (** e.g. "70%" — share of application runtime *)
+}
+
+type t = {
+  spec_name : string;  (** e.g. "164.gzip" *)
+  description : string;
+  loops : loop_info list;  (** Table 1's parallelized loops *)
+  lines_changed_all : int;  (** Table 1: lines changed, all *)
+  lines_changed_model : int;  (** Table 1: lines changed within the model *)
+  techniques : string list;  (** Table 1's "Techniques Required" *)
+  paper_speedup : float;  (** Table 2: best speedup *)
+  paper_threads : int;  (** Table 2: threads at best speedup *)
+  run : scale:scale -> Profiling.Profile.t;
+      (** execute the instrumented workload to completion *)
+  plan : Speculation.Spec_plan.t;  (** the paper's parallelization *)
+  baseline_plan : Speculation.Spec_plan.t option;
+      (** the same parallelization without the sequential-model
+          extensions (for the annotation ablation), when meaningful *)
+  pdg : unit -> Ir.Pdg.t;  (** static PDG of the main parallelized loop *)
+  pdg_expected_parallel : string list;
+      (** PDG node labels the paper's partition puts in stage B *)
+}
+
+val scale_to_string : scale -> string
+
+val iterations_for : scale -> small:int -> medium:int -> large:int -> int
+(** Pick a size knob by scale. *)

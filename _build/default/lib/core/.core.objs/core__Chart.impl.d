@@ -1,0 +1,1 @@
+lib/core/chart.ml: Array Buffer Bytes Format List Printf Sim String

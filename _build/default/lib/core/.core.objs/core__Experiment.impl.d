@@ -1,0 +1,1 @@
+lib/core/experiment.ml: Benchmarks Framework List Option Sim

@@ -1,0 +1,1 @@
+lib/core/framework.ml: Array Dswp Ir List Option Printf Profiling Sim Speculation

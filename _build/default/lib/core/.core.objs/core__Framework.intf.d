@@ -1,0 +1,1 @@
+lib/core/framework.mli: Annotations Ir Profiling Sim Speculation

@@ -1,0 +1,1 @@
+lib/core/report.ml: Benchmarks Dswp Experiment Format Framework List Machine Sim Simcore Speculation String

@@ -1,0 +1,1 @@
+lib/core/report.mli: Benchmarks Experiment Format Machine

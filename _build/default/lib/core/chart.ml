@@ -1,0 +1,66 @@
+let glyphs = [| '*'; 'o'; '+'; 'x'; '#'; '@'; '%'; '&' |]
+
+let render ?(height = 16) ?(width = 60) (series : Sim.Speedup.series list) =
+  let all_points = List.concat_map (fun s -> s.Sim.Speedup.points) series in
+  match all_points with
+  | [] -> "(no data)\n"
+  | _ ->
+    let max_threads =
+      List.fold_left (fun acc p -> max acc p.Sim.Speedup.threads) 1 all_points
+    in
+    let max_speedup =
+      List.fold_left (fun acc p -> max acc p.Sim.Speedup.speedup) 1.0 all_points
+    in
+    let grid = Array.init height (fun _ -> Bytes.make width ' ') in
+    let x_of threads = min (width - 1) ((threads - 1) * (width - 1) / max 1 (max_threads - 1)) in
+    let y_of speedup =
+      let frac = speedup /. max_speedup in
+      let row = height - 1 - int_of_float (frac *. float_of_int (height - 1)) in
+      max 0 (min (height - 1) row)
+    in
+    List.iteri
+      (fun si s ->
+        let glyph = glyphs.(si mod Array.length glyphs) in
+        (* Connect consecutive points with linear interpolation so the
+           chart reads as a line, not scattered dots. *)
+        let rec draw = function
+          | p1 :: (p2 :: _ as rest) ->
+            let x1 = x_of p1.Sim.Speedup.threads and x2 = x_of p2.Sim.Speedup.threads in
+            let y1 = p1.Sim.Speedup.speedup and y2 = p2.Sim.Speedup.speedup in
+            for x = x1 to x2 do
+              let t =
+                if x2 = x1 then 0.0 else float_of_int (x - x1) /. float_of_int (x2 - x1)
+              in
+              let y = y_of (y1 +. (t *. (y2 -. y1))) in
+              Bytes.set grid.(y) x glyph
+            done;
+            draw rest
+          | [ p ] -> Bytes.set grid.(y_of p.Sim.Speedup.speedup) (x_of p.Sim.Speedup.threads) glyph
+          | [] -> ()
+        in
+        draw s.Sim.Speedup.points)
+      series;
+    let buf = Buffer.create ((height + 4) * (width + 12)) in
+    Array.iteri
+      (fun row line ->
+        let label =
+          if row = 0 then Printf.sprintf "%6.1fx" max_speedup
+          else if row = height - 1 then Printf.sprintf "%6.1fx" (max_speedup /. float_of_int height)
+          else String.make 7 ' '
+        in
+        Buffer.add_string buf (Printf.sprintf "%s |%s|\n" label (Bytes.to_string line)))
+      grid;
+    Buffer.add_string buf
+      (Printf.sprintf "%s +%s+\n" (String.make 7 ' ') (String.make width '-'));
+    Buffer.add_string buf
+      (Printf.sprintf "%s  1%s%d threads\n" (String.make 7 ' ')
+         (String.make (max 1 (width - 12)) ' ')
+         max_threads);
+    List.iteri
+      (fun si s ->
+        Buffer.add_string buf
+          (Printf.sprintf "        %c %s\n" glyphs.(si mod Array.length glyphs) s.Sim.Speedup.label))
+      series;
+    Buffer.contents buf
+
+let pp ppf series = Format.pp_print_string ppf (render series)

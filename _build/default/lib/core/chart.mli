@@ -1,0 +1,13 @@
+(** ASCII line charts of speedup-vs-threads series — a terminal rendering
+    of the paper's Figures 4-7. *)
+
+val render :
+  ?height:int ->
+  ?width:int ->
+  Sim.Speedup.series list ->
+  string
+(** Plots every series on shared axes (threads on x, speedup on y), one
+    plotting glyph per series, with a legend.  [height] defaults to 16
+    rows, [width] to 60 columns. *)
+
+val pp : Format.formatter -> Sim.Speedup.series list -> unit

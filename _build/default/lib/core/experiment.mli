@@ -1,0 +1,38 @@
+(** Run one benchmark study through the whole pipeline and sweep thread
+    counts — the unit of work behind every figure and table. *)
+
+type t = {
+  study : Benchmarks.Study.t;
+  scale : Benchmarks.Study.scale;
+  built : Framework.built;
+  series : Sim.Speedup.series;
+}
+
+val run :
+  ?scale:Benchmarks.Study.scale ->
+  ?threads:int list ->
+  ?policy:Sim.Pipeline.policy ->
+  ?use_baseline_plan:bool ->
+  Benchmarks.Study.t ->
+  t
+(** Defaults: [Small] scale, the paper's thread sweep, the paper's
+    Serialize policy, the study's annotated plan.
+    [use_baseline_plan:true] switches to the study's annotation-free
+    baseline (identity when the study has none). *)
+
+val best : t -> Sim.Speedup.point
+
+type table2_row = {
+  name : string;
+  threads : int;
+  speedup : float;
+  moore : float;
+  ratio : float;
+  paper_speedup : float;
+  paper_threads : int;
+}
+
+val table2_row : t -> table2_row
+
+val misspec_total : t -> threads:int -> int
+(** Total tasks a speculated edge delayed at the given machine size. *)

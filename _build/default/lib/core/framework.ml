@@ -1,0 +1,118 @@
+type loop_diag = {
+  loop_name : string;
+  resolve_stats : Speculation.Resolve.stats;
+  tasks : int;
+  iterations : int;
+}
+
+type built = { input : Sim.Input.t; diagnostics : loop_diag list }
+
+let sim_edges resolved =
+  List.filter_map
+    (fun (e : Speculation.Resolve.edge) ->
+      match e.Speculation.Resolve.action with
+      | Ir.Dep.Remove -> None
+      | Ir.Dep.Synchronize ->
+        Some
+          {
+            Sim.Input.src = e.src;
+            dst = e.dst;
+            speculated = false;
+            src_offset = e.src_offset;
+            dst_offset = e.dst_offset;
+          }
+      | Ir.Dep.Speculate ->
+        Some
+          {
+            Sim.Input.src = e.src;
+            dst = e.dst;
+            speculated = true;
+            src_offset = e.src_offset;
+            dst_offset = e.dst_offset;
+          })
+    resolved
+
+let build ?(plan_for = fun _ -> None) ~plan profile =
+  let trace = Profiling.Profile.trace profile in
+  (match Ir.Trace.validate trace with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Framework.build: invalid trace: " ^ msg));
+  let loc_name id =
+    try Profiling.Profile.loc_name profile id with Not_found -> Printf.sprintf "loc_%d" id
+  in
+  let diagnostics = ref [] in
+  let segments =
+    List.map
+      (fun seg ->
+        match seg with
+        | Ir.Trace.Serial w -> Sim.Input.Serial w
+        | Ir.Trace.Loop loop ->
+          let loop_plan =
+            Option.value ~default:plan (plan_for loop.Ir.Trace.loop_name)
+          in
+          let log = Profiling.Profile.log_of profile loop.Ir.Trace.loop_name in
+          let config =
+            { Profiling.Mem_profile.silent_stores = loop_plan.Speculation.Spec_plan.silent_stores }
+          in
+          let mem_edges = Profiling.Mem_profile.analyze ~config log in
+          let resolved, stats =
+            Speculation.Resolve.resolve ~plan:loop_plan ~loc_name ~loop ~mem_edges
+          in
+          diagnostics :=
+            {
+              loop_name = loop.Ir.Trace.loop_name;
+              resolve_stats = stats;
+              tasks = Array.length loop.Ir.Trace.tasks;
+              iterations = Ir.Trace.loop_iterations loop;
+            }
+            :: !diagnostics;
+          Sim.Input.Parallel
+            (Sim.Input.make_loop ~name:loop.Ir.Trace.loop_name ~tasks:loop.Ir.Trace.tasks
+               ~edges:(sim_edges resolved)))
+      trace.Ir.Trace.segments
+  in
+  {
+    input = Sim.Input.make ~name:trace.Ir.Trace.name ~segments;
+    diagnostics = List.rev !diagnostics;
+  }
+
+let build_auto ?commutative profile =
+  let trace = Profiling.Profile.trace profile in
+  let loc_name id =
+    try Profiling.Profile.loc_name profile id with Not_found -> Printf.sprintf "loc_%d" id
+  in
+  let plans =
+    List.filter_map
+      (function
+        | Ir.Trace.Serial _ -> None
+        | Ir.Trace.Loop loop ->
+          let log = Profiling.Profile.log_of profile loop.Ir.Trace.loop_name in
+          let mem_edges = Profiling.Mem_profile.analyze log in
+          let plan =
+            Speculation.Auto_plan.infer ?commutative ~loc_name ~loop ~mem_edges ()
+          in
+          Some (loop.Ir.Trace.loop_name, plan))
+      trace.Ir.Trace.segments
+  in
+  let plan_for name = List.assoc_opt name plans in
+  let default = Speculation.Spec_plan.make () in
+  (build ~plan_for ~plan:default profile, plans)
+
+let enabled_breakers (plan : Speculation.Spec_plan.t) (b : Ir.Pdg.breaker) =
+  match b with
+  | Ir.Pdg.Alias_speculation -> plan.Speculation.Spec_plan.alias <> Speculation.Spec_plan.No_alias
+  | Ir.Pdg.Value_speculation -> plan.Speculation.Spec_plan.value_locs <> []
+  | Ir.Pdg.Control_speculation -> plan.Speculation.Spec_plan.control_speculated
+  | Ir.Pdg.Silent_store -> plan.Speculation.Spec_plan.silent_stores
+  | Ir.Pdg.Commutative_annotation g ->
+    List.mem g (Speculation.Spec_plan.commutative_groups plan)
+  | Ir.Pdg.Ybranch_annotation -> true
+
+let validate_partition pdg ~plan ~expected_parallel =
+  let partition = Dswp.Partition.partition pdg ~enabled:(enabled_breakers plan) in
+  let b_stage = Dswp.Partition.stage partition Ir.Task.B in
+  let labels =
+    List.map (fun n -> (Ir.Pdg.node pdg n).Ir.Pdg.label) b_stage.Dswp.Partition.nodes
+    |> List.sort compare
+  in
+  labels = List.sort compare expected_parallel

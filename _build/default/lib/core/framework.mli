@@ -1,0 +1,46 @@
+(** The automatic parallelization framework, end to end.
+
+    [build] is the "compiler + profiler" half of the paper's methodology:
+    given an instrumented run (trace + access logs) and a speculation/
+    annotation plan, it extracts dynamic memory dependences, resolves
+    each one into synchronize / speculate / remove, and assembles the
+    simulator input whose execution the paper's Section 3 model measures. *)
+
+type loop_diag = {
+  loop_name : string;
+  resolve_stats : Speculation.Resolve.stats;
+  tasks : int;
+  iterations : int;
+}
+
+type built = {
+  input : Sim.Input.t;
+  diagnostics : loop_diag list;
+}
+
+val build :
+  ?plan_for:(string -> Speculation.Spec_plan.t option) ->
+  plan:Speculation.Spec_plan.t ->
+  Profiling.Profile.t ->
+  built
+(** [plan_for] may override the plan per loop name; loops it maps to
+    [None] use [plan]. *)
+
+val build_auto :
+  ?commutative:Annotations.Commutative.t ->
+  Profiling.Profile.t ->
+  built * (string * Speculation.Spec_plan.t) list
+(** Fully automatic parallelization: infer each loop's speculation plan
+    from its own profile with {!Speculation.Auto_plan.infer} (the paper's
+    "profiling pass"), then build the simulator input.  [commutative]
+    carries the programmer's annotations — the one thing no profile can
+    supply.  Also returns the inferred plan per loop. *)
+
+val validate_partition :
+  Ir.Pdg.t -> plan:Speculation.Spec_plan.t -> expected_parallel:string list -> bool
+(** Run the DSWP partitioner over a study's static PDG with the breakers
+    the plan enables; check that exactly the expected node labels land in
+    the replicated parallel stage. *)
+
+val enabled_breakers : Speculation.Spec_plan.t -> Ir.Pdg.breaker -> bool
+(** Which PDG edge breakers a plan allows the partitioner to use. *)

@@ -1,0 +1,126 @@
+let table1 ppf studies =
+  Format.fprintf ppf "%-12s %-22s %-8s %8s %8s  %s@." "Benchmark" "Loop" "Exec" "Lines"
+    "Lines" "Techniques";
+  Format.fprintf ppf "%-12s %-22s %-8s %8s %8s@." "" "" "Time" "(All)" "(Model)";
+  List.iter
+    (fun (s : Benchmarks.Study.t) ->
+      List.iteri
+        (fun i (li : Benchmarks.Study.loop_info) ->
+          if i = 0 then
+            Format.fprintf ppf "%-12s %-22s %-8s %8d %8d  %s@." s.Benchmarks.Study.spec_name
+              li.Benchmarks.Study.li_function li.Benchmarks.Study.li_exec_time
+              s.Benchmarks.Study.lines_changed_all s.Benchmarks.Study.lines_changed_model
+              (String.concat ", " s.Benchmarks.Study.techniques)
+          else
+            Format.fprintf ppf "%-12s %-22s %-8s@." "" li.Benchmarks.Study.li_function
+              li.Benchmarks.Study.li_exec_time)
+        s.Benchmarks.Study.loops)
+    studies
+
+let table2 ppf experiments =
+  Format.fprintf ppf "%-12s %8s %8s %8s %7s   %s@." "Benchmark" "#Thr" "Speedup" "Moore"
+    "Ratio" "(paper: speedup @ threads)";
+  let rows = List.map Experiment.table2_row experiments in
+  List.iter
+    (fun (r : Experiment.table2_row) ->
+      Format.fprintf ppf "%-12s %8d %8.2f %8.2f %7.2f   (%.2f @@ %d)@." r.Experiment.name
+        r.Experiment.threads r.Experiment.speedup r.Experiment.moore r.Experiment.ratio
+        r.Experiment.paper_speedup r.Experiment.paper_threads)
+    rows;
+  let speedups = List.map (fun (r : Experiment.table2_row) -> r.Experiment.speedup) rows in
+  let threads =
+    List.map (fun (r : Experiment.table2_row) -> float_of_int r.Experiment.threads) rows
+  in
+  let ratios = List.map (fun (r : Experiment.table2_row) -> r.Experiment.ratio) rows in
+  if rows <> [] then begin
+    Format.fprintf ppf "%-12s %8.0f %8.2f %8s %7.2f   (paper GeoMean 5.54)@." "GeoMean"
+      (Simcore.Stats.geomean threads) (Simcore.Stats.geomean speedups) "-"
+      (Simcore.Stats.geomean ratios);
+    Format.fprintf ppf "%-12s %8.0f %8.2f %8s %7.2f   (paper ArithMean 9.81)@." "ArithMean"
+      (Simcore.Stats.mean threads) (Simcore.Stats.mean speedups) "-"
+      (Simcore.Stats.mean ratios)
+  end
+
+let figure ppf ~title experiments =
+  Format.fprintf ppf "%s@." title;
+  (match experiments with
+  | [] -> ()
+  | first :: _ ->
+    Format.fprintf ppf "%-12s" "threads";
+    List.iter
+      (fun (p : Sim.Speedup.point) -> Format.fprintf ppf " %8d" p.Sim.Speedup.threads)
+      first.Experiment.series.Sim.Speedup.points;
+    Format.fprintf ppf "@.");
+  List.iter
+    (fun (e : Experiment.t) ->
+      Format.fprintf ppf "%-12s" e.Experiment.study.Benchmarks.Study.spec_name;
+      List.iter
+        (fun (p : Sim.Speedup.point) -> Format.fprintf ppf " %8.2f" p.Sim.Speedup.speedup)
+        e.Experiment.series.Sim.Speedup.points;
+      Format.fprintf ppf "@.")
+    experiments
+
+let figure3 ppf cfg =
+  (* Figure 3a: the paper's code example. *)
+  Format.fprintf ppf "(a) code:@.";
+  Format.fprintf ppf "      while ((item = read()) != DONE) {   // phase A@.";
+  Format.fprintf ppf "        result = process(item);           // phase B@.";
+  Format.fprintf ppf "        emit(result);                     // phase C@.";
+  Format.fprintf ppf "      }@.";
+  (* Figure 3b: the static phase dependence graph. *)
+  Format.fprintf ppf "(b) phase dependences:@.";
+  Format.fprintf ppf "      A(i-1) -> A(i)        A tasks chain (input cursor)@.";
+  Format.fprintf ppf "      A(i)   -> B(i)        each iteration's item@.";
+  Format.fprintf ppf "      B(i)   -> C(i)        each iteration's result@.";
+  Format.fprintf ppf "      C(i-1) -> C(i)        C tasks chain (in-order output)@.";
+  (* Figure 3c: the execution plan on this machine. *)
+  Format.fprintf ppf "(c) execution plan on %a:@." Machine.Config.pp cfg;
+  match Dswp.Planner.plan cfg with
+  | None -> Format.fprintf ppf "      single core: sequential execution@."
+  | Some a ->
+    Format.fprintf ppf "      phase A tasks -> core %d (serial)@." a.Dswp.Planner.a_core;
+    Format.fprintf ppf
+      "      phase B tasks -> cores [%s] (replicated stage, dynamic least-loaded dispatch)@."
+      (String.concat ";" (List.map string_of_int a.Dswp.Planner.b_cores));
+    Format.fprintf ppf "      phase C tasks -> core %d (serial, in-order commit)@."
+      a.Dswp.Planner.c_core
+
+let diagnostics ppf (e : Experiment.t) =
+  Format.fprintf ppf "%s (%s scale): total work %d@."
+    e.Experiment.study.Benchmarks.Study.spec_name
+    (Benchmarks.Study.scale_to_string e.Experiment.scale)
+    (Sim.Input.total_work e.Experiment.built.Framework.input);
+  let serial, wa, wb, wc =
+    List.fold_left
+      (fun (s, a, b, c) seg ->
+        match seg with
+        | Sim.Input.Serial w -> (s + w, a, b, c)
+        | Sim.Input.Parallel l ->
+          let la, lb, lc = Sim.Analytic.phase_work l in
+          (s, a + la, b + lb, c + lc))
+      (0, 0, 0, 0) e.Experiment.built.Framework.input.Sim.Input.segments
+  in
+  let total = max 1 (serial + wa + wb + wc) in
+  let pct x = 100.0 *. float_of_int x /. float_of_int total in
+  Format.fprintf ppf "  work split: serial %.1f%%, A %.1f%%, B %.1f%%, C %.1f%%@."
+    (pct serial) (pct wa) (pct wb) (pct wc);
+  List.iter
+    (fun (d : Framework.loop_diag) ->
+      let s = d.Framework.resolve_stats in
+      Format.fprintf ppf
+        "  loop %-24s %5d tasks %5d iters | deps: %d total, %d removed, %d spec, %d sync@."
+        d.Framework.loop_name d.Framework.tasks d.Framework.iterations
+        s.Speculation.Resolve.total s.Speculation.Resolve.removed
+        s.Speculation.Resolve.speculated s.Speculation.Resolve.synchronized)
+    e.Experiment.built.Framework.diagnostics;
+  List.iter
+    (fun (p : Sim.Speedup.point) ->
+      let misspec =
+        List.fold_left
+          (fun acc (_, (r : Sim.Pipeline.loop_result)) ->
+            acc + r.Sim.Pipeline.misspec_delayed)
+          0 p.Sim.Speedup.result.Sim.Pipeline.loops
+      in
+      Format.fprintf ppf "  %2d threads: %6.2fx  (misspec-delayed tasks: %d)@."
+        p.Sim.Speedup.threads p.Sim.Speedup.speedup misspec)
+    e.Experiment.series.Sim.Speedup.points

@@ -1,0 +1,20 @@
+(** Textual reproduction of the paper's tables and figures. *)
+
+val table1 : Format.formatter -> Benchmarks.Study.t list -> unit
+(** Table 1: loops parallelized, execution time share, lines changed
+    (all / within the model), techniques required. *)
+
+val table2 : Format.formatter -> Experiment.t list -> unit
+(** Table 2: minimum threads at maximum speedup, the speedup, the
+    Moore's-law expectation, their ratio; geometric and arithmetic means;
+    paper reference values alongside. *)
+
+val figure : Format.formatter -> title:string -> Experiment.t list -> unit
+(** A speedup-vs-threads figure as an aligned text series (Figures 4-7). *)
+
+val figure3 : Format.formatter -> Machine.Config.t -> unit
+(** The Section 3.2 execution plan (Figure 3c) as text, from the
+    planner. *)
+
+val diagnostics : Format.formatter -> Experiment.t -> unit
+(** Per-loop dependence-resolution and misspeculation summary. *)

@@ -1,0 +1,1 @@
+lib/dswp/multi_stage.ml: Format Ir List String

@@ -1,0 +1,1 @@
+lib/dswp/multi_stage.mli: Format Ir

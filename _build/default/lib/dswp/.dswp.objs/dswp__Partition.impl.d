@@ -1,0 +1,1 @@
+lib/dswp/partition.ml: Array Format Fun Hashtbl Ir List String

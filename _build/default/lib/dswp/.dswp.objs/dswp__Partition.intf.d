@@ -1,0 +1,1 @@
+lib/dswp/partition.mli: Format Ir

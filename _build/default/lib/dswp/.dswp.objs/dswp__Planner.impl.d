@@ -1,0 +1,1 @@
+lib/dswp/planner.ml: Format List Machine String

@@ -1,0 +1,1 @@
+lib/dswp/planner.mli: Format Machine

@@ -1,0 +1,30 @@
+(** Generalized k-stage DSWP partitioning.
+
+    The paper's evaluation decomposes loops into three phases, but DSWP
+    itself partitions into arbitrarily many pipeline stages (Ottoni et
+    al.).  This module linearizes the SCC condensation in topological
+    order and splits it into [stages] contiguous stages minimizing the
+    bottleneck stage weight (dynamic programming over the linear chain).
+    A stage is {e parallel} when every SCC inside it is free of surviving
+    loop-carried dependences and all its nodes are replicable. *)
+
+type stage = {
+  ms_nodes : int list;  (** PDG node ids, ascending *)
+  ms_weight : float;
+  ms_parallel : bool;
+}
+
+val partition : Ir.Pdg.t -> stages:int -> enabled:(Ir.Pdg.breaker -> bool) -> stage list
+(** At most [stages] stages (fewer when the loop has fewer SCCs); stages
+    appear in pipeline order and partition the nodes. *)
+
+val bottleneck : stage list -> float
+(** The heaviest sequential-equivalent stage weight, counting a parallel
+    stage at its full weight (one replica). *)
+
+val throughput_bound : stage list -> threads:int -> float
+(** Upper bound on pipeline speedup with [threads] cores: sequential
+    stages get one core each, remaining cores spread over parallel stages
+    proportionally to weight. *)
+
+val pp : Ir.Pdg.t -> Format.formatter -> stage list -> unit

@@ -1,0 +1,155 @@
+type stage = {
+  phase : Ir.Task.phase;
+  nodes : int list;
+  weight : float;
+  replicated : bool;
+}
+
+type t = { stages : stage list; broken : Ir.Pdg.edge list }
+
+(* Reachability over the SCC condensation, as adjacency between component
+   indices. *)
+let condensation_adj pdg surviving comps =
+  let comp_of = Hashtbl.create 16 in
+  List.iteri (fun ci nodes -> List.iter (fun n -> Hashtbl.replace comp_of n ci) nodes) comps;
+  let k = List.length comps in
+  let adj = Array.make k [] in
+  List.iter
+    (fun (e : Ir.Pdg.edge) ->
+      if surviving e then begin
+        let cs = Hashtbl.find comp_of e.Ir.Pdg.src and cd = Hashtbl.find comp_of e.Ir.Pdg.dst in
+        if cs <> cd && not (List.mem cd adj.(cs)) then adj.(cs) <- cd :: adj.(cs)
+      end)
+    (Ir.Pdg.edges pdg);
+  (comp_of, adj)
+
+let reachable adj from =
+  let k = Array.length adj in
+  let seen = Array.make k false in
+  let rec go v =
+    List.iter
+      (fun w ->
+        if not seen.(w) then begin
+          seen.(w) <- true;
+          go w
+        end)
+      adj.(v)
+  in
+  go from;
+  seen
+
+let partition pdg ~enabled =
+  let surviving (e : Ir.Pdg.edge) =
+    match e.Ir.Pdg.breaker with None -> true | Some b -> not (enabled b)
+  in
+  let broken = List.filter (fun e -> not (surviving e)) (Ir.Pdg.edges pdg) in
+  let comps = Ir.Pdg.sccs pdg ~consider:surviving () in
+  let comp_arr = Array.of_list comps in
+  let k = Array.length comp_arr in
+  let comp_of, adj = condensation_adj pdg surviving comps in
+  ignore comp_of;
+  (* Transpose for ancestor queries. *)
+  let radj = Array.make k [] in
+  Array.iteri (fun v ws -> List.iter (fun w -> radj.(w) <- v :: radj.(w)) ws) adj;
+  let weight_of ci =
+    List.fold_left (fun acc n -> acc +. (Ir.Pdg.node pdg n).Ir.Pdg.weight) 0.0 comp_arr.(ci)
+  in
+  let eligible ci =
+    let nodes = comp_arr.(ci) in
+    let internal_carried =
+      List.exists
+        (fun (e : Ir.Pdg.edge) ->
+          surviving e && e.Ir.Pdg.loop_carried && List.mem e.Ir.Pdg.src nodes
+          && List.mem e.Ir.Pdg.dst nodes)
+        (Ir.Pdg.edges pdg)
+    in
+    (not internal_carried)
+    && List.for_all (fun n -> (Ir.Pdg.node pdg n).Ir.Pdg.replicable) nodes
+  in
+  let eligibles =
+    List.init k Fun.id |> List.filter eligible
+    |> List.sort (fun a b -> compare (weight_of b) (weight_of a))
+  in
+  let in_b = Array.make k false in
+  (match eligibles with
+  | [] -> ()
+  | seed :: rest ->
+    in_b.(seed) <- true;
+    (* Grow B with eligible components unordered w.r.t. every member. *)
+    let unordered ci cj =
+      (not (reachable adj ci).(cj)) && not (reachable adj cj).(ci)
+    in
+    List.iter
+      (fun ci ->
+        let ok = List.init k Fun.id |> List.for_all (fun cj -> (not in_b.(cj)) || unordered ci cj) in
+        if ok then in_b.(ci) <- true)
+      rest);
+  (* A = ancestors of B; C = the rest (descendants of B and components
+     unordered with B that were not promoted into it). *)
+  let in_a = Array.make k false in
+  for ci = 0 to k - 1 do
+    if in_b.(ci) then begin
+      let anc = reachable radj ci in
+      Array.iteri (fun cj r -> if r && not in_b.(cj) then in_a.(cj) <- true) anc
+    end
+  done;
+  let phase_of ci =
+    if in_b.(ci) then Ir.Task.B else if in_a.(ci) then Ir.Task.A else Ir.Task.C
+  in
+  (* Components unordered with B default to C above; move those that feed
+     C-resident consumers nowhere — they stay in C, which is safe (serial). *)
+  let nodes_of phase =
+    List.init k Fun.id
+    |> List.filter (fun ci -> phase_of ci = phase)
+    |> List.concat_map (fun ci -> comp_arr.(ci))
+    |> List.sort compare
+  in
+  let mk phase =
+    let nodes = nodes_of phase in
+    let weight =
+      List.fold_left (fun acc n -> acc +. (Ir.Pdg.node pdg n).Ir.Pdg.weight) 0.0 nodes
+    in
+    { phase; nodes; weight; replicated = (phase = Ir.Task.B && nodes <> []) }
+  in
+  { stages = [ mk Ir.Task.A; mk Ir.Task.B; mk Ir.Task.C ]; broken }
+
+let stage t phase =
+  match List.find_opt (fun s -> s.phase = phase) t.stages with
+  | Some s -> s
+  | None -> invalid_arg "Partition.stage: missing phase"
+
+let total_weight t = List.fold_left (fun acc s -> acc +. s.weight) 0.0 t.stages
+
+let parallel_fraction t =
+  let total = total_weight t in
+  if total <= 0.0 then 0.0 else (stage t Ir.Task.B).weight /. total
+
+let pipeline_bound t ~threads =
+  if threads < 1 then invalid_arg "Partition.pipeline_bound: threads must be >= 1";
+  let total = total_weight t in
+  if total <= 0.0 then 1.0
+  else if threads = 1 then 1.0
+  else begin
+    let replicas = max 1 (threads - 2) in
+    let wa = (stage t Ir.Task.A).weight
+    and wb = (stage t Ir.Task.B).weight
+    and wc = (stage t Ir.Task.C).weight in
+    let bottleneck = List.fold_left max 0.0 [ wa; wb /. float_of_int replicas; wc ] in
+    if bottleneck <= 0.0 then 1.0 else total /. bottleneck
+  end
+
+let phase_of_node t n =
+  match List.find_opt (fun s -> List.mem n s.nodes) t.stages with
+  | Some s -> s.phase
+  | None -> invalid_arg "Partition.phase_of_node: unknown node"
+
+let pp ppf t =
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "stage %s: nodes %s, weight %.3f%s@."
+        (Ir.Task.phase_to_string s.phase)
+        (String.concat "," (List.map string_of_int s.nodes))
+        s.weight
+        (if s.replicated then " (replicated)" else ""))
+    t.stages;
+  Format.fprintf ppf "broken edges: %d@." (List.length t.broken)

@@ -1,0 +1,50 @@
+(** DSWP pipeline partitioning with parallel-stage replication.
+
+    Given a loop's PDG and the set of dependence breakers the framework
+    may apply (speculation kinds, honoured annotations), partition the
+    loop body into the paper's three pipeline stages:
+
+    - stage A: everything the parallel stage still depends on,
+    - stage B: the {e parallel stage} — SCCs whose remaining loop-carried
+      dependences have all been broken, so different iterations may run on
+      different cores (the PS-DSWP generalization of Section 2.1),
+    - stage C: everything that depends on the parallel stage.
+
+    The algorithm: drop every breakable edge, compute SCCs of what
+    remains, mark an SCC parallel-eligible when it contains no surviving
+    loop-carried internal edge and all its nodes are replicable, pick the
+    heaviest eligible SCC as the seed of stage B, grow B with other
+    eligible SCCs unordered relative to everything already in B, then
+    close A under ancestors of B and put the rest in C. *)
+
+type stage = {
+  phase : Ir.Task.phase;
+  nodes : int list;  (** PDG node ids, ascending *)
+  weight : float;  (** summed node weights *)
+  replicated : bool;  (** true only for a non-empty parallel stage B *)
+}
+
+type t = {
+  stages : stage list;  (** exactly [A; B; C], possibly with empty node lists *)
+  broken : Ir.Pdg.edge list;  (** edges removed by enabled breakers *)
+}
+
+val partition : Ir.Pdg.t -> enabled:(Ir.Pdg.breaker -> bool) -> t
+(** [enabled] says which breakers the current plan may use; an edge with
+    breaker [b] survives iff [not (enabled b)]. *)
+
+val stage : t -> Ir.Task.phase -> stage
+
+val parallel_fraction : t -> float
+(** Weight of stage B over total weight; 0 when nothing is parallel. *)
+
+val pipeline_bound : t -> threads:int -> float
+(** Upper bound on speedup with [threads] cores under this partition:
+    total weight over the heaviest of (A, B / replicas, C), where the
+    B-stage replica count follows the paper's plan (threads - 2 dedicated
+    cores, at least 1). *)
+
+val phase_of_node : t -> int -> Ir.Task.phase
+(** Which stage a PDG node landed in. *)
+
+val pp : Format.formatter -> t -> unit

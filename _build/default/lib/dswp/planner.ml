@@ -1,0 +1,15 @@
+type assignment = { a_core : int; b_cores : int list; c_core : int }
+
+let plan (cfg : Machine.Config.t) =
+  let n = cfg.Machine.Config.cores in
+  if n <= 1 then None
+  else if n = 2 then Some { a_core = 0; b_cores = [ 1 ]; c_core = 0 }
+  else Some { a_core = 0; b_cores = List.init (n - 2) (fun i -> i + 1); c_core = n - 1 }
+
+let b_core_count cfg =
+  match plan cfg with None -> 0 | Some a -> List.length a.b_cores
+
+let pp ppf a =
+  Format.fprintf ppf "A->core %d, B->cores [%s], C->core %d" a.a_core
+    (String.concat ";" (List.map string_of_int a.b_cores))
+    a.c_core

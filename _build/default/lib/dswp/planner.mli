@@ -1,0 +1,23 @@
+(** Execution planning: mapping pipeline stages to cores.
+
+    The paper's execution plan (Section 3.2, Figure 3c) runs phase A tasks
+    serially on one core, phase B tasks on a pool of cores with dynamic
+    assignment to the least-loaded, and phase C tasks serially on one
+    core.  With only two cores, A and C share a core; with one core the
+    program runs sequentially. *)
+
+type assignment = {
+  a_core : int;
+  b_cores : int list;  (** non-empty for cores >= 2 *)
+  c_core : int;
+}
+
+val plan : Machine.Config.t -> assignment option
+(** [None] for a single-core machine (sequential execution).  For two
+    cores A and C share core 0 and B runs on core 1; for [n >= 3] A takes
+    core 0, C takes core [n-1], B takes the [n-2] cores between. *)
+
+val b_core_count : Machine.Config.t -> int
+(** Replica count the plan gives phase B (0 on a single core). *)
+
+val pp : Format.formatter -> assignment -> unit

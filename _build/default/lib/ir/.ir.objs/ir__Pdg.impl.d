@@ -1,0 +1,1 @@
+lib/ir/pdg.ml: Array Dep Format List

@@ -1,0 +1,1 @@
+lib/ir/trace.ml: Array Dep Format List Printf Task

@@ -1,0 +1,113 @@
+type t = {
+  weights : (string, float) Hashtbl.t;
+  calls : (string, (string * int) list ref) Hashtbl.t;  (* caller -> callees *)
+}
+
+let create () = { weights = Hashtbl.create 16; calls = Hashtbl.create 16 }
+
+let add_proc t ~name ~weight =
+  if Hashtbl.mem t.weights name then invalid_arg ("Callgraph.add_proc: duplicate " ^ name);
+  if weight < 0.0 then invalid_arg "Callgraph.add_proc: negative weight";
+  Hashtbl.add t.weights name weight;
+  Hashtbl.add t.calls name (ref [])
+
+let callees t name =
+  match Hashtbl.find_opt t.calls name with Some r -> !r | None -> []
+
+let add_call t ~caller ~callee ?(count = 1) () =
+  if not (Hashtbl.mem t.weights caller) then
+    invalid_arg ("Callgraph.add_call: unknown caller " ^ caller);
+  if not (Hashtbl.mem t.weights callee) then
+    invalid_arg ("Callgraph.add_call: unknown callee " ^ callee);
+  if count < 1 then invalid_arg "Callgraph.add_call: count must be >= 1";
+  let r = Hashtbl.find t.calls caller in
+  r := (callee, count) :: !r
+
+let procedures t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.weights [] |> List.sort compare
+
+let local_weight t name =
+  match Hashtbl.find_opt t.weights name with
+  | Some w -> w
+  | None -> invalid_arg ("Callgraph.local_weight: unknown " ^ name)
+
+let transitive_weight t ?(recursion_depth = 8) name =
+  ignore (local_weight t name);
+  (* Expand the call tree; a procedure already on the current path counts
+     against the recursion budget. *)
+  let rec go name budget path =
+    let on_path = List.mem name path in
+    if on_path && budget = 0 then 0.0
+    else begin
+      let budget = if on_path then budget - 1 else budget in
+      List.fold_left
+        (fun acc (callee, count) ->
+          acc +. (float_of_int count *. go callee budget (name :: path)))
+        (local_weight t name) (callees t name)
+    end
+  in
+  go name recursion_depth []
+
+let is_recursive t name =
+  ignore (local_weight t name);
+  let rec reach seen current =
+    List.exists
+      (fun (callee, _) ->
+        callee = name
+        || (not (List.mem callee seen)) && reach (callee :: seen) callee)
+      (callees t current)
+  in
+  reach [ name ] name
+
+let unroll t ~proc ~depth =
+  if depth < 1 then invalid_arg "Callgraph.unroll: depth must be >= 1";
+  let direct =
+    List.exists (fun (callee, _) -> callee = proc) (callees t proc)
+  in
+  if not direct then invalid_arg ("Callgraph.unroll: " ^ proc ^ " is not directly recursive");
+  let copy_name k = Printf.sprintf "%s#%d" proc k in
+  let fresh = create () in
+  (* Copy every other procedure, retargeting calls to [proc]. *)
+  let retarget callee = if callee = proc then copy_name 1 else callee in
+  List.iter
+    (fun name ->
+      if name <> proc then add_proc fresh ~name ~weight:(local_weight t name))
+    (procedures t);
+  for k = 1 to depth do
+    add_proc fresh ~name:(copy_name k) ~weight:(local_weight t proc)
+  done;
+  List.iter
+    (fun name ->
+      if name <> proc then
+        List.iter
+          (fun (callee, count) ->
+            add_call fresh ~caller:name ~callee:(retarget callee) ~count ())
+          (callees t name))
+    (procedures t);
+  for k = 1 to depth do
+    List.iter
+      (fun (callee, count) ->
+        if callee = proc then begin
+          (* The recursive call chains to the next specialization; the
+             deepest copy drops it (search-depth cutoff). *)
+          if k < depth then
+            add_call fresh ~caller:(copy_name k) ~callee:(copy_name (k + 1)) ~count ()
+        end
+        else add_call fresh ~caller:(copy_name k) ~callee ~count ())
+      (callees t proc)
+  done;
+  fresh
+
+let inline_order t =
+  let visited = Hashtbl.create 16 in
+  let order = ref [] in
+  let rec visit name =
+    if not (Hashtbl.mem visited name) then begin
+      Hashtbl.add visited name ();
+      List.iter (fun (callee, _) -> visit callee) (callees t name);
+      order := name :: !order
+    end
+  in
+  List.iter visit (procedures t);
+  (* callees precede callers *)
+  List.rev !order

@@ -1,0 +1,48 @@
+(** Whole-program call graphs (paper Section 2.2).
+
+    The framework needs "the ability to find, analyze, and optimize a
+    loop without regard to its position in the code": whole-program
+    optimization removes procedure boundaries so the compiler can see and
+    modify deeply nested code.  This module models the procedure
+    structure: transitive weights tell the partitioner how much work a
+    call site really represents, recursion detection identifies loops the
+    3-phase decomposition cannot enter directly, and {!unroll} performs
+    the specialization trick 186.crafty's study uses ("the recursion can
+    be unrolled by repeatedly specializing the function to a particular
+    depth"). *)
+
+type t
+
+val create : unit -> t
+
+val add_proc : t -> name:string -> weight:float -> unit
+(** Local (non-call) work of the procedure body.  Duplicate names are an
+    error. *)
+
+val add_call : t -> caller:string -> callee:string -> ?count:int -> unit -> unit
+(** [count] (default 1) calls per invocation of [caller].  Both
+    procedures must exist. *)
+
+val procedures : t -> string list
+(** Sorted. *)
+
+val local_weight : t -> string -> float
+
+val transitive_weight : t -> ?recursion_depth:int -> string -> float
+(** Total work of one invocation including callees; self/mutual recursion
+    is expanded to [recursion_depth] levels (default 8) and truncated —
+    the static estimate an inliner would use. *)
+
+val is_recursive : t -> string -> bool
+(** The procedure can reach itself through calls. *)
+
+val unroll : t -> proc:string -> depth:int -> t
+(** Specialize a directly-recursive procedure into [depth] copies
+    [proc#1 .. proc#depth]; each copy calls the next, the last drops the
+    recursive call.  Other procedures' calls to [proc] retarget
+    [proc#1].  Raises [Invalid_argument] if [proc] is not directly
+    recursive. *)
+
+val inline_order : t -> string list
+(** Procedures in an order where callees precede callers (cycles broken
+    arbitrarily): the order a bottom-up inliner processes them. *)

@@ -1,0 +1,119 @@
+type node = { id : int; label : string; weight : float; replicable : bool }
+
+type edge = {
+  src : int;
+  dst : int;
+  kind : Dep.kind;
+  loop_carried : bool;
+  probability : float;
+  breaker : breaker option;
+}
+
+and breaker =
+  | Alias_speculation
+  | Value_speculation
+  | Control_speculation
+  | Silent_store
+  | Commutative_annotation of string
+  | Ybranch_annotation
+
+type t = {
+  graph_name : string;
+  mutable node_list : node list;  (* reverse order of insertion *)
+  mutable edge_list : edge list;
+  mutable next_id : int;
+}
+
+let create graph_name = { graph_name; node_list = []; edge_list = []; next_id = 0 }
+
+let name t = t.graph_name
+
+let add_node t ~label ~weight ?(replicable = false) () =
+  if weight < 0.0 then invalid_arg "Pdg.add_node: negative weight";
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  t.node_list <- { id; label; weight; replicable } :: t.node_list;
+  id
+
+let add_edge t ~src ~dst ~kind ?(loop_carried = false) ?(probability = 1.0) ?breaker () =
+  if src < 0 || src >= t.next_id || dst < 0 || dst >= t.next_id then
+    invalid_arg "Pdg.add_edge: unknown node";
+  t.edge_list <- { src; dst; kind; loop_carried; probability; breaker } :: t.edge_list
+
+let nodes t = List.rev t.node_list
+
+let edges t = List.rev t.edge_list
+
+let node t id =
+  match List.find_opt (fun n -> n.id = id) t.node_list with
+  | Some n -> n
+  | None -> invalid_arg "Pdg.node: unknown id"
+
+let node_count t = t.next_id
+
+let successors t id =
+  let succ =
+    List.filter_map (fun e -> if e.src = id then Some e.dst else None) t.edge_list
+  in
+  List.sort_uniq compare succ
+
+let total_weight t = List.fold_left (fun acc n -> acc +. n.weight) 0.0 t.node_list
+
+(* Iterative Tarjan SCC to stay safe on deep graphs. *)
+let sccs t ?(consider = fun (_ : edge) -> true) () =
+  let n = t.next_id in
+  let adj = Array.make n [] in
+  List.iter (fun e -> if consider e then adj.(e.src) <- e.dst :: adj.(e.src)) t.edge_list;
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let components = ref [] in
+  let rec strongconnect v =
+    index.(v) <- !counter;
+    lowlink.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+        if index.(w) = -1 then begin
+          strongconnect w;
+          lowlink.(v) <- min lowlink.(v) lowlink.(w)
+        end
+        else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w))
+      adj.(v);
+    if lowlink.(v) = index.(v) then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+          stack := rest;
+          on_stack.(w) <- false;
+          if w = v then w :: acc else pop (w :: acc)
+      in
+      components := pop [] :: !components
+    end
+  in
+  for v = 0 to n - 1 do
+    if index.(v) = -1 then strongconnect v
+  done;
+  (* Tarjan emits consumer components first; the accumulator reverses
+     that, leaving producers first (topological order of the
+     condensation). *)
+  !components
+
+let pp ppf t =
+  Format.fprintf ppf "pdg %s: %d nodes@." t.graph_name t.next_id;
+  List.iter
+    (fun n ->
+      Format.fprintf ppf "  [%d] %s w=%.3f%s@." n.id n.label n.weight
+        (if n.replicable then " (replicable)" else ""))
+    (nodes t);
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "  %d -%s%s-> %d p=%.4f@." e.src (Dep.kind_to_string e.kind)
+        (if e.loop_carried then "/carried" else "")
+        e.dst e.probability)
+    (edges t)

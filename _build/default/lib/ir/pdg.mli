@@ -1,0 +1,76 @@
+(** Static program dependence graphs.
+
+    The compiler side of the framework reasons about a loop body as a PDG:
+    nodes are code regions weighted by their share of one iteration's
+    execution time; edges carry a dependence kind, whether the dependence
+    is loop-carried, and the profile-observed probability that it
+    manifests on a dynamic iteration pair.  The DSWP partitioner consumes
+    the DAG of strongly connected components of the loop-carried
+    subgraph. *)
+
+type node = {
+  id : int;
+  label : string;
+  weight : float;  (** fraction of one iteration's work, in [0, 1] *)
+  replicable : bool;
+      (** a node whose remaining loop-carried self-dependences are all
+          broken may be replicated across cores (PS-DSWP) *)
+}
+
+type edge = {
+  src : int;
+  dst : int;
+  kind : Dep.kind;
+  loop_carried : bool;
+  probability : float;  (** chance the dependence manifests per iteration *)
+  breaker : breaker option;  (** how the framework may break this edge *)
+}
+
+and breaker =
+  | Alias_speculation
+  | Value_speculation
+  | Control_speculation
+  | Silent_store
+  | Commutative_annotation of string  (** group name *)
+  | Ybranch_annotation
+
+type t
+
+val create : string -> t
+
+val name : t -> string
+
+val add_node : t -> label:string -> weight:float -> ?replicable:bool -> unit -> int
+(** Returns the fresh node id. *)
+
+val add_edge :
+  t ->
+  src:int ->
+  dst:int ->
+  kind:Dep.kind ->
+  ?loop_carried:bool ->
+  ?probability:float ->
+  ?breaker:breaker ->
+  unit ->
+  unit
+
+val nodes : t -> node list
+
+val edges : t -> edge list
+
+val node : t -> int -> node
+
+val node_count : t -> int
+
+val successors : t -> int -> int list
+(** Distinct successor ids over all edges. *)
+
+val sccs : t -> ?consider:(edge -> bool) -> unit -> int list list
+(** Tarjan strongly connected components over edges satisfying
+    [consider] (default: all edges).  Components are returned in
+    topological order of the condensation: if an edge [u -> v] crosses
+    components, [u]'s component precedes [v]'s. *)
+
+val total_weight : t -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,35 @@
+type t = int list list
+
+let weight pdg nodes =
+  List.fold_left (fun acc n -> acc +. (Pdg.node pdg n).Pdg.weight) 0.0 nodes
+
+let form pdg ~max_weight =
+  if max_weight <= 0.0 then invalid_arg "Region.form: budget must be positive";
+  let sccs = Pdg.sccs pdg () in
+  let rec go current current_w acc = function
+    | [] -> List.rev (if current = [] then acc else List.rev current :: acc)
+    | scc :: rest ->
+      let w = weight pdg scc in
+      if current <> [] && current_w +. w > max_weight then
+        go [ scc ] w (List.rev current :: acc) rest
+      else go (scc :: current) (current_w +. w) acc rest
+  in
+  let grouped = go [] 0.0 [] sccs in
+  List.map List.concat grouped
+
+let validate pdg regions =
+  let n = Pdg.node_count pdg in
+  let seen = Array.make n 0 in
+  List.iter (List.iter (fun id -> if id >= 0 && id < n then seen.(id) <- seen.(id) + 1)) regions;
+  let missing = ref None and dup = ref None in
+  Array.iteri
+    (fun i c ->
+      if c = 0 && !missing = None then missing := Some i;
+      if c > 1 && !dup = None then dup := Some i)
+    seen;
+  match (!missing, !dup) with
+  | Some i, _ -> Error (Printf.sprintf "node %d in no region" i)
+  | _, Some i -> Error (Printf.sprintf "node %d in several regions" i)
+  | None, None -> Ok ()
+
+let count regions = List.length regions

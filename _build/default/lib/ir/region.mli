@@ -1,0 +1,24 @@
+(** Region formation (paper Section 2.2).
+
+    Whole-program scope lets the compiler see any loop, but analyzing
+    everything at once is intractable; "through region formation, the
+    compiler can control the amount of code to analyze and optimize".
+    This module groups a PDG's SCCs, in topological order, into regions
+    whose summed weight stays under a budget — the unit at which the
+    framework would run its expensive analyses. *)
+
+type t = int list list
+(** Each region is a list of PDG node ids; regions are disjoint and
+    jointly cover the graph. *)
+
+val form : Pdg.t -> max_weight:float -> t
+(** Greedy accumulation of topologically ordered SCCs.  A single SCC
+    heavier than the budget becomes its own region (it cannot be
+    split — its nodes are cyclically dependent). *)
+
+val validate : Pdg.t -> t -> (unit, string) result
+(** Checks the partition property: every node in exactly one region. *)
+
+val weight : Pdg.t -> int list -> float
+
+val count : t -> int

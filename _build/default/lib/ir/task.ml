@@ -1,0 +1,20 @@
+type phase = A | B | C
+
+let phase_to_string = function A -> "A" | B -> "B" | C -> "C"
+
+let phase_rank = function A -> 0 | B -> 1 | C -> 2
+
+let compare_phase p q = compare (phase_rank p) (phase_rank q)
+
+type t = { id : int; iteration : int; phase : phase; intra : int; work : int }
+
+let make ~id ~iteration ~phase ?(intra = 0) ~work () =
+  if work < 0 then invalid_arg "Task.make: negative work";
+  if iteration < 0 then invalid_arg "Task.make: negative iteration";
+  { id; iteration; phase; intra; work }
+
+let pp ppf t =
+  Format.fprintf ppf "#%d(it=%d,%s%d,w=%d)" t.id t.iteration (phase_to_string t.phase)
+    t.intra t.work
+
+let total_work tasks = Array.fold_left (fun acc t -> acc + t.work) 0 tasks

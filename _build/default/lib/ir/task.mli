@@ -1,0 +1,32 @@
+(** Dynamic tasks and pipeline phases.
+
+    The paper decomposes every parallelized loop into three phases
+    (Section 3.2): phase A tasks depend only on prior phase A tasks and run
+    serially on one core; phase B tasks depend on the corresponding phase A
+    task and run in parallel, dynamically assigned to the least-loaded
+    core; phase C tasks depend on the corresponding phase B task(s) and on
+    prior phase C tasks, and run serially on one core.  A {e phase} is the
+    statically selected region; a {e task} is a dynamic instance of a
+    phase for one loop iteration. *)
+
+type phase = A | B | C
+
+val phase_to_string : phase -> string
+
+val compare_phase : phase -> phase -> int
+(** Pipeline order: A < B < C. *)
+
+type t = {
+  id : int;  (** index into the owning loop's task array *)
+  iteration : int;  (** loop iteration that spawned this task *)
+  phase : phase;
+  intra : int;  (** disambiguates multiple B tasks of one iteration *)
+  work : int;  (** abstract work units (stand-in for measured cycles) *)
+}
+
+val make : id:int -> iteration:int -> phase:phase -> ?intra:int -> work:int -> unit -> t
+
+val pp : Format.formatter -> t -> unit
+
+val total_work : t array -> int
+(** Sum of work over all tasks; the single-threaded execution time. *)

@@ -1,0 +1,87 @@
+type loop = { loop_name : string; tasks : Task.t array; explicit_deps : Dep.t list }
+
+type segment = Serial of int | Loop of loop
+
+type t = { name : string; segments : segment list }
+
+let loop_iterations loop =
+  Array.fold_left (fun acc (t : Task.t) -> max acc (t.iteration + 1)) 0 loop.tasks
+
+let loop_work loop = Task.total_work loop.tasks
+
+let total_work t =
+  List.fold_left
+    (fun acc -> function Serial w -> acc + w | Loop l -> acc + loop_work l)
+    0 t.segments
+
+let loops t =
+  List.filter_map (function Serial _ -> None | Loop l -> Some l) t.segments
+
+let find_loop t name =
+  match List.find_opt (fun l -> l.loop_name = name) (loops t) with
+  | Some l -> l
+  | None -> raise Not_found
+
+let serial_work t =
+  List.fold_left (fun acc -> function Serial w -> acc + w | Loop _ -> acc) 0 t.segments
+
+let validate_loop loop =
+  let n = Array.length loop.tasks in
+  let check_ids () =
+    let bad = ref None in
+    Array.iteri
+      (fun i (t : Task.t) -> if t.id <> i && !bad = None then bad := Some i)
+      loop.tasks;
+    match !bad with
+    | Some i -> Error (Printf.sprintf "loop %s: task at index %d has mismatched id" loop.loop_name i)
+    | None -> Ok ()
+  in
+  let check_deps () =
+    let bad =
+      List.find_opt
+        (fun (d : Dep.t) -> d.src < 0 || d.src >= n || d.dst < 0 || d.dst >= n)
+        loop.explicit_deps
+    in
+    match bad with
+    | Some d ->
+      Error
+        (Printf.sprintf "loop %s: dep %d->%d references missing task" loop.loop_name d.src
+           d.dst)
+    | None -> Ok ()
+  in
+  let check_forward () =
+    (* A dependence must flow forward: the consumer appears in a later
+       iteration, or the same iteration at an equal-or-later phase. *)
+    let flows_forward (d : Dep.t) =
+      let s = loop.tasks.(d.src) and c = loop.tasks.(d.dst) in
+      s.iteration < c.iteration
+      || (s.iteration = c.iteration && Task.compare_phase s.phase c.phase <= 0)
+    in
+    match List.find_opt (fun d -> not (flows_forward d)) loop.explicit_deps with
+    | Some d ->
+      Error (Printf.sprintf "loop %s: dep %d->%d flows backward" loop.loop_name d.src d.dst)
+    | None -> Ok ()
+  in
+  match check_ids () with
+  | Error _ as e -> e
+  | Ok () -> ( match check_deps () with Error _ as e -> e | Ok () -> check_forward ())
+
+let validate t =
+  let rec go = function
+    | [] -> Ok ()
+    | Serial w :: rest -> if w < 0 then Error "negative serial work" else go rest
+    | Loop l :: rest -> ( match validate_loop l with Error _ as e -> e | Ok () -> go rest)
+  in
+  go t.segments
+
+let pp_summary ppf t =
+  Format.fprintf ppf "trace %s: %d segments, total work %d@." t.name (List.length t.segments)
+    (total_work t);
+  List.iter
+    (function
+      | Serial w -> Format.fprintf ppf "  serial %d@." w
+      | Loop l ->
+        Format.fprintf ppf "  loop %s: %d tasks, %d iterations, work %d, %d explicit deps@."
+          l.loop_name (Array.length l.tasks) (loop_iterations l) (loop_work l)
+          (List.length l.explicit_deps))
+    t.segments

@@ -1,0 +1,40 @@
+(** Dynamic program traces.
+
+    A trace is the output of running an instrumented workload: an ordered
+    list of segments, each either straight-line serial work or a
+    parallelizable loop.  A loop carries its dynamic tasks, any explicit
+    (register/control) dependences declared during the run, and is later
+    joined with the memory profiler's edges. *)
+
+type loop = {
+  loop_name : string;
+  tasks : Task.t array;  (** task [i] has [id = i] *)
+  explicit_deps : Dep.t list;  (** register/control edges declared by the workload *)
+}
+
+type segment = Serial of int | Loop of loop
+
+type t = { name : string; segments : segment list }
+
+val loop_iterations : loop -> int
+(** Number of distinct loop iterations present. *)
+
+val loop_work : loop -> int
+
+val total_work : t -> int
+(** Single-threaded execution time of the whole trace. *)
+
+val loops : t -> loop list
+
+val find_loop : t -> string -> loop
+(** Raises [Not_found] if no loop has that name. *)
+
+val serial_work : t -> int
+(** Work outside any parallelizable loop. *)
+
+val validate : t -> (unit, string) result
+(** Structural invariants: task ids are array indices; iterations are
+    non-decreasing per phase; explicit deps reference existing tasks and
+    point forward in iteration/phase order. *)
+
+val pp_summary : Format.formatter -> t -> unit

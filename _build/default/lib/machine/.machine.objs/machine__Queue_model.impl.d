@@ -1,0 +1,1 @@
+lib/machine/queue_model.ml:

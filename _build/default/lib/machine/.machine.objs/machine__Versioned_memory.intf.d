@@ -1,0 +1,1 @@
+lib/machine/versioned_memory.mli:

@@ -1,0 +1,24 @@
+type t = { cap : int; mutable occ : int; mutable hw : int }
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Queue_model.create: capacity must be >= 1";
+  { cap = capacity; occ = 0; hw = 0 }
+
+let capacity t = t.cap
+
+let occupancy t = t.occ
+
+let is_full t = t.occ >= t.cap
+
+let is_empty t = t.occ = 0
+
+let push t =
+  if is_full t then invalid_arg "Queue_model.push: full";
+  t.occ <- t.occ + 1;
+  if t.occ > t.hw then t.hw <- t.occ
+
+let pop t =
+  if t.occ = 0 then invalid_arg "Queue_model.pop: empty";
+  t.occ <- t.occ - 1
+
+let high_water t = t.hw

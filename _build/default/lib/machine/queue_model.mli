@@ -1,0 +1,29 @@
+(** Bounded core-to-core queue occupancy.
+
+    A small helper tracking how many entries of a fixed-capacity hardware
+    queue are in flight.  The pipeline simulator uses one in-queue and one
+    out-queue per phase-B core; a producer observing a full queue stalls
+    (the paper's simulator "accurately modeled full and empty
+    conditions"). *)
+
+type t
+
+val create : capacity:int -> t
+
+val capacity : t -> int
+
+val occupancy : t -> int
+
+val is_full : t -> bool
+
+val is_empty : t -> bool
+
+val push : t -> unit
+(** Raises [Invalid_argument] when full — callers must check first; a
+    full queue means the producer blocks, not that the entry is lost. *)
+
+val pop : t -> unit
+(** Raises [Invalid_argument] when empty. *)
+
+val high_water : t -> int
+(** Maximum occupancy ever observed. *)

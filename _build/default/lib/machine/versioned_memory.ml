@@ -1,0 +1,90 @@
+type violation = { violated_task : int; loc : int; writer_task : int }
+
+type version = {
+  vtask : int;
+  writes : (int, int) Hashtbl.t;  (* loc -> value *)
+  reads : (int, int) Hashtbl.t;  (* loc -> source task (-1 = architectural) *)
+}
+
+type t = {
+  silent : bool;
+  committed : (int, int) Hashtbl.t;
+  mutable versions : version list;  (* oldest first *)
+  mutable last_task : int;
+}
+
+let create ?(silent_stores = true) () =
+  { silent = silent_stores; committed = Hashtbl.create 64; versions = []; last_task = -1 }
+
+let set_committed t ~loc v = Hashtbl.replace t.committed loc v
+
+let begin_task t ~task =
+  if task <= t.last_task then
+    invalid_arg "Versioned_memory.begin_task: tasks must open in logical order";
+  t.last_task <- task;
+  t.versions <-
+    t.versions @ [ { vtask = task; writes = Hashtbl.create 8; reads = Hashtbl.create 8 } ]
+
+let find_version t task =
+  match List.find_opt (fun v -> v.vtask = task) t.versions with
+  | Some v -> v
+  | None -> invalid_arg "Versioned_memory: task has no open version"
+
+let read t ~task ~loc =
+  let v = find_version t task in
+  (* Youngest write among versions up to and including this task. *)
+  let rec scan best = function
+    | [] -> best
+    | ver :: rest ->
+      if ver.vtask > task then best
+      else
+        let best =
+          match Hashtbl.find_opt ver.writes loc with
+          | Some value -> Some (ver.vtask, value)
+          | None -> best
+        in
+        scan best rest
+  in
+  match scan None t.versions with
+  | Some (src, value) ->
+    if src <> task then Hashtbl.replace v.reads loc src;
+    Some value
+  | None ->
+    Hashtbl.replace v.reads loc (-1);
+    Hashtbl.find_opt t.committed loc
+
+let write t ~task ~loc value =
+  let v = find_version t task in
+  Hashtbl.replace v.writes loc value
+
+let commit t ~task =
+  match t.versions with
+  | [] -> invalid_arg "Versioned_memory.commit: no open versions"
+  | oldest :: rest ->
+    if oldest.vtask <> task then
+      invalid_arg "Versioned_memory.commit: must commit oldest version first";
+    let violations = ref [] in
+    Hashtbl.iter
+      (fun loc value ->
+        let silent = t.silent && Hashtbl.find_opt t.committed loc = Some value in
+        if not silent then begin
+          Hashtbl.replace t.committed loc value;
+          (* Any still-open version that read this location from a source
+             older than us observed a stale value. *)
+          List.iter
+            (fun ver ->
+              match Hashtbl.find_opt ver.reads loc with
+              | Some src when src < task ->
+                violations :=
+                  { violated_task = ver.vtask; loc; writer_task = task } :: !violations
+              | Some _ | None -> ())
+            rest
+        end
+        else Hashtbl.replace t.committed loc value)
+      oldest.writes;
+    t.versions <- rest;
+    List.rev !violations
+
+let committed_value t ~loc = Hashtbl.find_opt t.committed loc
+
+let open_tasks t = List.map (fun v -> v.vtask) t.versions

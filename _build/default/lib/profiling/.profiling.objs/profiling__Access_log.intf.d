@@ -1,0 +1,1 @@
+lib/profiling/access_log.mli:

@@ -1,0 +1,1 @@
+lib/profiling/mem_profile.ml: Access_log Array Format Hashtbl Ir List Printf

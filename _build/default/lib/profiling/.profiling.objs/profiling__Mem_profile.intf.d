@@ -1,0 +1,1 @@
+lib/profiling/mem_profile.mli: Access_log Format Ir

@@ -1,0 +1,1 @@
+lib/profiling/profile.ml: Access_log Array Fun Hashtbl Ir List Option Printf

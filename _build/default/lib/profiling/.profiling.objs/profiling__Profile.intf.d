@@ -1,0 +1,1 @@
+lib/profiling/profile.mli: Access_log Ir

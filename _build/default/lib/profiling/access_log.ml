@@ -1,0 +1,28 @@
+type op = Read | Write of int
+
+type entry = {
+  task : int;
+  seq : int;
+  loc : int;
+  op : op;
+  group : string option;
+  offset : int;
+}
+
+type t = { mutable entries_rev : entry list; mutable next_seq : int }
+
+let create () = { entries_rev = []; next_seq = 0 }
+
+let record t ~task ~loc ~op ?group ~offset () =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  t.entries_rev <- { task; seq; loc; op; group; offset } :: t.entries_rev
+
+let entries t = List.rev t.entries_rev
+
+let length t = t.next_seq
+
+let locations t =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun e -> Hashtbl.replace tbl e.loc ()) t.entries_rev;
+  Hashtbl.fold (fun l () acc -> l :: acc) tbl [] |> List.sort compare

@@ -1,0 +1,34 @@
+(** Per-loop log of shared-memory accesses made by dynamic tasks.
+
+    The instrumented workloads record every read and write of a {e shared
+    location} (a named abstract cell standing for a program variable or
+    structure the paper discusses: a dictionary, a symbol table, an RNG
+    seed, ...).  The memory profiler replays this log to extract the
+    dynamic cross-task dependences that the paper's memory-profiling pass
+    provides to its simulator (Section 3.1). *)
+
+type op = Read | Write of int  (** writes carry the stored value *)
+
+type entry = {
+  task : int;  (** task id within the loop *)
+  seq : int;  (** global sequence number: position in sequential execution *)
+  loc : int;  (** shared-location id *)
+  op : op;
+  group : string option;  (** commutative section the access occurred in *)
+  offset : int;  (** work units completed by the task at access time *)
+}
+
+type t
+
+val create : unit -> t
+
+val record :
+  t -> task:int -> loc:int -> op:op -> ?group:string -> offset:int -> unit -> unit
+
+val entries : t -> entry list
+(** In sequential execution order. *)
+
+val length : t -> int
+
+val locations : t -> int list
+(** Distinct locations touched, ascending. *)

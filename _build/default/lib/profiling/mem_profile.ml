@@ -1,0 +1,106 @@
+type edge = {
+  src : int;
+  dst : int;
+  loc : int;
+  group : string option;
+  silent : bool;
+  predicted : bool;
+  src_offset : int;
+  dst_offset : int;
+}
+
+type config = { silent_stores : bool }
+
+let default_config = { silent_stores = true }
+
+(* State tracked per location while replaying the log in sequential
+   order. *)
+type loc_state = {
+  mutable value : int option;  (* current stored value *)
+  mutable writer : int;  (* task of last effective write; -1 if none *)
+  mutable writer_group : string option;
+  mutable writer_silent : bool;
+  mutable writer_offset : int;
+  mutable last_read_value : int option;  (* for the last-value predictor *)
+}
+
+let fresh_loc () =
+  {
+    value = None;
+    writer = -1;
+    writer_group = None;
+    writer_silent = false;
+    writer_offset = 0;
+    last_read_value = None;
+  }
+
+let analyze ?(config = default_config) log =
+  let states : (int, loc_state) Hashtbl.t = Hashtbl.create 64 in
+  let state loc =
+    match Hashtbl.find_opt states loc with
+    | Some s -> s
+    | None ->
+      let s = fresh_loc () in
+      Hashtbl.add states loc s;
+      s
+  in
+  (* Keyed by (src, dst, loc); first occurrence kept (earliest read). *)
+  let seen : (int * int * int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let edges_rev = ref [] in
+  let handle (e : Access_log.entry) =
+    let s = state e.loc in
+    match e.op with
+    | Access_log.Write v ->
+      let silent = config.silent_stores && s.value = Some v in
+      s.value <- Some v;
+      if not silent then begin
+        s.writer <- e.task;
+        s.writer_group <- e.group;
+        s.writer_silent <- false;
+        s.writer_offset <- e.offset
+      end
+    | Access_log.Read ->
+      (match s.value with
+      | None -> ()
+      | Some v ->
+        if s.writer >= 0 && s.writer <> e.task then begin
+          let key = (s.writer, e.task, e.loc) in
+          if not (Hashtbl.mem seen key) then begin
+            Hashtbl.add seen key ();
+            let group =
+              (* The edge lives inside a commutative group only when both
+                 endpoints executed under the same group: that is the
+                 function-internal state the annotation hides. *)
+              match (s.writer_group, e.group) with
+              | Some g1, Some g2 when g1 = g2 -> Some g1
+              | _ -> None
+            in
+            let predicted = s.last_read_value = Some v in
+            edges_rev :=
+              {
+                src = s.writer;
+                dst = e.task;
+                loc = e.loc;
+                group;
+                silent = false;
+                predicted;
+                src_offset = s.writer_offset;
+                dst_offset = e.offset;
+              }
+              :: !edges_rev
+          end;
+          s.last_read_value <- Some v
+        end)
+  in
+  List.iter handle (Access_log.entries log);
+  List.rev !edges_rev
+
+let cross_iteration (loop : Ir.Trace.loop) edges =
+  let iter_of id = loop.Ir.Trace.tasks.(id).Ir.Task.iteration in
+  List.filter (fun e -> iter_of e.src <> iter_of e.dst) edges
+
+let pp_edge ppf e =
+  Format.fprintf ppf "%d->%d loc=%d%s%s%s" e.src e.dst e.loc
+    (match e.group with Some g -> Printf.sprintf " group=%s" g | None -> "")
+    (if e.silent then " silent" else "")
+    (if e.predicted then " predicted" else "")

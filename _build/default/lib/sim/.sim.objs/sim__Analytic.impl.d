@@ -1,0 +1,1 @@
+lib/sim/analytic.ml: Array Dswp Input Ir List Queue

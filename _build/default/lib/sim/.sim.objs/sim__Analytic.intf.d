@@ -1,0 +1,1 @@
+lib/sim/analytic.mli: Input Machine

@@ -1,0 +1,1 @@
+lib/sim/gantt.ml: Array Buffer Bytes Char Format List Pipeline Printf

@@ -1,0 +1,1 @@
+lib/sim/input.ml: Array Format Hashtbl Ir List Printf

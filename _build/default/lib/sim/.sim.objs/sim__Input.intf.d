@@ -1,0 +1,1 @@
+lib/sim/input.mli: Format Ir

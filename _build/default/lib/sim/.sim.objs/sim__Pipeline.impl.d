@@ -1,0 +1,1 @@
+lib/sim/pipeline.ml: Array Dswp Hashtbl Input Ir List Machine Printf Simcore

@@ -1,0 +1,1 @@
+lib/sim/speedup.ml: Format List Machine Pipeline

@@ -1,0 +1,1 @@
+lib/sim/speedup.mli: Format Input Machine Pipeline

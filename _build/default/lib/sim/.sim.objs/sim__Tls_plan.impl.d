@@ -1,0 +1,1 @@
+lib/sim/tls_plan.ml: Array Hashtbl Input Ir List Machine Option Pipeline

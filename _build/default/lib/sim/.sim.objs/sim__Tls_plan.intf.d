@@ -1,0 +1,1 @@
+lib/sim/tls_plan.mli: Input Machine Pipeline

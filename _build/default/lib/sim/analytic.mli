@@ -1,0 +1,23 @@
+(** Analytic bounds used to cross-check the event-driven simulator.
+
+    These are provable bounds on any legal schedule of a loop under the
+    A/B/C plan; the test suite asserts the simulator never reports a span
+    outside them. *)
+
+val critical_path : Input.loop -> int
+(** Longest weighted path through the task DAG (structural pipeline edges
+    plus synchronized and speculated edges, since both delay consumers
+    under the Serialize policy), ignoring core counts, queue capacities
+    and latencies.  A lower bound on any span with zero latency. *)
+
+val phase_work : Input.loop -> int * int * int
+(** Total work per phase (A, B, C). *)
+
+val lower_bound : Machine.Config.t -> Input.loop -> int
+(** Max of the critical path and the serial-stage bottlenecks: phase A
+    and phase C work each bound the span (they run on one core), and
+    phase B work divided by the B-core count bounds it too. *)
+
+val upper_bound : Input.loop -> int
+(** Total work: no legal schedule is slower than serial execution when
+    latency is zero. *)

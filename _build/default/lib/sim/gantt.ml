@@ -1,0 +1,25 @@
+let glyph task = Char.chr (Char.code 'a' + (task mod 26))
+
+let render ?(width = 78) ~cores ~span entries =
+  let span = max 1 span in
+  let rows = Array.init cores (fun _ -> Bytes.make width '.') in
+  let cell t = min (width - 1) (t * width / span) in
+  List.iter
+    (fun (e : Pipeline.sched_entry) ->
+      if e.Pipeline.s_core >= 0 && e.Pipeline.s_core < cores then begin
+        let lo = cell e.Pipeline.s_start in
+        let hi = max lo (cell (max e.Pipeline.s_start (e.Pipeline.s_finish - 1))) in
+        for x = lo to hi do
+          Bytes.set rows.(e.Pipeline.s_core) x (glyph e.Pipeline.s_task)
+        done
+      end)
+    entries;
+  let buf = Buffer.create (cores * (width + 12)) in
+  Array.iteri
+    (fun c row -> Buffer.add_string buf (Printf.sprintf "core %2d |%s|\n" c (Bytes.to_string row)))
+    rows;
+  Buffer.contents buf
+
+let pp ?width ~cores ppf (r : Pipeline.loop_result) =
+  Format.pp_print_string ppf
+    (render ?width ~cores ~span:r.Pipeline.span r.Pipeline.schedule)

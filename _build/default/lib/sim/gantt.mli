@@ -1,0 +1,18 @@
+(** ASCII Gantt rendering of a simulated schedule.
+
+    One row per core, time flowing right; each task paints its interval
+    with a letter cycling through its id.  Used by the bench harness and
+    invaluable when debugging pipeline behaviour (head-of-line stalls and
+    queue back-pressure are visible as gaps). *)
+
+val render :
+  ?width:int -> cores:int -> span:int -> Pipeline.sched_entry list -> string
+(** [width] (default 78) is the number of character cells the span is
+    scaled into.  Rows are labelled [core N]. *)
+
+val pp :
+  ?width:int ->
+  cores:int ->
+  Format.formatter ->
+  Pipeline.loop_result ->
+  unit

@@ -1,0 +1,94 @@
+type edge = {
+  src : int;
+  dst : int;
+  speculated : bool;
+  src_offset : int;
+  dst_offset : int;
+}
+
+type loop = { name : string; tasks : Ir.Task.t array; edges : edge list }
+
+type segment = Serial of int | Parallel of loop
+
+type t = { program_name : string; segments : segment list }
+
+let merge_edges edges =
+  let tbl : (int * int, edge) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun e ->
+      let key = (e.src, e.dst) in
+      match Hashtbl.find_opt tbl key with
+      | None ->
+        Hashtbl.add tbl key e;
+        order := key :: !order
+      | Some old ->
+        (* Keep the strongest combination: a synchronized edge dominates a
+           speculated one; the tightest offsets dominate. *)
+        let merged =
+          {
+            e with
+            speculated = old.speculated && e.speculated;
+            src_offset = max old.src_offset e.src_offset;
+            dst_offset = min old.dst_offset e.dst_offset;
+          }
+        in
+        Hashtbl.replace tbl key merged)
+    edges;
+  List.rev_map (fun key -> Hashtbl.find tbl key) !order
+
+let make_loop ~name ~tasks ~edges =
+  let n = Array.length tasks in
+  Array.iteri
+    (fun i (t : Ir.Task.t) ->
+      if t.Ir.Task.id <> i then invalid_arg "Input.make_loop: task id mismatch")
+    tasks;
+  let iters = Array.fold_left (fun acc (t : Ir.Task.t) -> max acc (t.Ir.Task.iteration + 1)) 0 tasks in
+  let a_count = Array.make iters 0 and c_count = Array.make iters 0 in
+  Array.iter
+    (fun (t : Ir.Task.t) ->
+      match t.Ir.Task.phase with
+      | Ir.Task.A -> a_count.(t.Ir.Task.iteration) <- a_count.(t.Ir.Task.iteration) + 1
+      | Ir.Task.C -> c_count.(t.Ir.Task.iteration) <- c_count.(t.Ir.Task.iteration) + 1
+      | Ir.Task.B -> ())
+    tasks;
+  Array.iteri
+    (fun i c ->
+      if c > 1 then
+        invalid_arg (Printf.sprintf "Input.make_loop: iteration %d has %d A tasks" i c))
+    a_count;
+  Array.iteri
+    (fun i c ->
+      if c > 1 then
+        invalid_arg (Printf.sprintf "Input.make_loop: iteration %d has %d C tasks" i c))
+    c_count;
+  List.iter
+    (fun e ->
+      if e.src < 0 || e.src >= n || e.dst < 0 || e.dst >= n || e.src = e.dst then
+        invalid_arg "Input.make_loop: bad edge")
+    edges;
+  { name; tasks; edges = merge_edges edges }
+
+let make ~name ~segments = { program_name = name; segments }
+
+let loop_work loop = Ir.Task.total_work loop.tasks
+
+let iterations loop =
+  Array.fold_left (fun acc (t : Ir.Task.t) -> max acc (t.Ir.Task.iteration + 1)) 0 loop.tasks
+
+let total_work t =
+  List.fold_left
+    (fun acc -> function Serial w -> acc + w | Parallel l -> acc + loop_work l)
+    0 t.segments
+
+let pp_summary ppf t =
+  Format.fprintf ppf "program %s: total work %d@." t.program_name (total_work t);
+  List.iter
+    (function
+      | Serial w -> Format.fprintf ppf "  serial %d@." w
+      | Parallel l ->
+        let spec = List.length (List.filter (fun e -> e.speculated) l.edges) in
+        Format.fprintf ppf "  loop %s: %d tasks / %d iterations, work %d, edges %d (%d spec)@."
+          l.name (Array.length l.tasks) (iterations l) (loop_work l) (List.length l.edges)
+          spec)
+    t.segments

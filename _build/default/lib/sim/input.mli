@@ -1,0 +1,41 @@
+(** Simulator input: a program as serial segments and parallelized loops
+    whose dependences have already been resolved into synchronize /
+    speculate constraints (removed dependences simply do not appear). *)
+
+type edge = {
+  src : int;
+  dst : int;
+  speculated : bool;
+      (** true: the dependence was speculated and dynamically occurred —
+          it serializes under the paper's model; false: synchronized *)
+  src_offset : int;  (** work offset of the produce within [src] *)
+  dst_offset : int;  (** work offset of the consume within [dst] *)
+}
+
+type loop = {
+  name : string;
+  tasks : Ir.Task.t array;
+  edges : edge list;
+}
+
+type segment = Serial of int | Parallel of loop
+
+type t = { program_name : string; segments : segment list }
+
+val make_loop : name:string -> tasks:Ir.Task.t array -> edges:edge list -> loop
+(** Validates: task ids are indices; at most one A and one C task per
+    iteration; edges reference existing distinct tasks; duplicate
+    (src, dst) pairs are merged keeping the strongest constraint
+    (synchronized wins over speculated; offsets take the most
+    constraining values). *)
+
+val make : name:string -> segments:segment list -> t
+
+val total_work : t -> int
+(** Single-threaded execution time. *)
+
+val loop_work : loop -> int
+
+val iterations : loop -> int
+
+val pp_summary : Format.formatter -> t -> unit

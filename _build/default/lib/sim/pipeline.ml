@@ -1,0 +1,491 @@
+type misspec_policy = Serialize | Squash
+
+type policy = { misspec : misspec_policy; forwarding : bool }
+
+let default_policy = { misspec = Serialize; forwarding = false }
+
+type sched_entry = { s_task : int; s_core : int; s_start : int; s_finish : int }
+
+type loop_result = {
+  span : int;
+  busy : int array;
+  misspec_delayed : int;
+  squashes : int;
+  in_queue_high_water : int;
+  out_queue_high_water : int;
+  b_tasks_per_core : int array;
+  schedule : sched_entry list;
+}
+
+type result = {
+  total_time : int;
+  sequential_time : int;
+  loops : (string * loop_result) list;
+}
+
+(* Per-iteration view of the loop's tasks. *)
+type iter_view = { a : int option; bs : int list; c : int option }
+
+type a_state = ARun of int | ADispatch of int * int list | ADone
+
+type event = Finish of int * int  (* task id, generation *) | Wake
+
+let sequential_result cfg (loop : Input.loop) =
+  let w = Input.loop_work loop in
+  let busy = Array.make cfg.Machine.Config.cores 0 in
+  busy.(0) <- w;
+  let _, schedule =
+    Array.fold_left
+      (fun (t, acc) (task : Ir.Task.t) ->
+        let f = t + task.Ir.Task.work in
+        (f, { s_task = task.Ir.Task.id; s_core = 0; s_start = t; s_finish = f } :: acc))
+      (0, []) loop.Input.tasks
+  in
+  {
+    span = w;
+    busy;
+    misspec_delayed = 0;
+    squashes = 0;
+    in_queue_high_water = 0;
+    out_queue_high_water = 0;
+    b_tasks_per_core = [||];
+    schedule = List.rev schedule;
+  }
+
+let build_iter_views (loop : Input.loop) =
+  let iters = Input.iterations loop in
+  let a = Array.make iters None and c = Array.make iters None in
+  let bs = Array.make iters [] in
+  Array.iter
+    (fun (t : Ir.Task.t) ->
+      let i = t.Ir.Task.iteration in
+      match t.Ir.Task.phase with
+      | Ir.Task.A -> a.(i) <- Some t.Ir.Task.id
+      | Ir.Task.C -> c.(i) <- Some t.Ir.Task.id
+      | Ir.Task.B -> bs.(i) <- t.Ir.Task.id :: bs.(i))
+    loop.Input.tasks;
+  Array.init iters (fun i ->
+      let sorted =
+        List.sort
+          (fun x y ->
+            compare loop.Input.tasks.(x).Ir.Task.intra loop.Input.tasks.(y).Ir.Task.intra)
+          bs.(i)
+      in
+      { a = a.(i); bs = sorted; c = c.(i) })
+
+let run_loop (cfg : Machine.Config.t) ?(policy = default_policy) (loop : Input.loop) =
+  let n = cfg.Machine.Config.cores in
+  let ntasks = Array.length loop.Input.tasks in
+  if n <= 1 || ntasks = 0 then sequential_result cfg loop
+  else begin
+    let assignment =
+      match Dswp.Planner.plan cfg with
+      | Some a -> a
+      | None -> assert false (* n > 1 *)
+    in
+    let lat = cfg.Machine.Config.comm_latency in
+    let cap = cfg.Machine.Config.queue_capacity in
+    let views = build_iter_views loop in
+    let iters = Array.length views in
+    let work tid = loop.Input.tasks.(tid).Ir.Task.work in
+    let phase tid = loop.Input.tasks.(tid).Ir.Task.phase in
+    let iteration tid = loop.Input.tasks.(tid).Ir.Task.iteration in
+    (* Dependence adjacency. *)
+    let in_edges = Array.make ntasks [] in
+    let out_edges = Array.make ntasks [] in
+    List.iter
+      (fun (e : Input.edge) ->
+        in_edges.(e.Input.dst) <- e :: in_edges.(e.Input.dst);
+        out_edges.(e.Input.src) <- e :: out_edges.(e.Input.src))
+      loop.Input.edges;
+    (* Task state. *)
+    let start_time = Array.make ntasks (-1) in
+    let finish_time = Array.make ntasks (-1) in
+    let completed = Array.make ntasks false in
+    let generation = Array.make ntasks 0 in
+    let min_restart = Array.make ntasks 0 in
+    let assigned_core = Array.make ntasks (-1) in  (* B-core slot index *)
+    let arrival = Array.make ntasks (-1) in
+    (* Cores. *)
+    let core_free = Array.make n 0 in
+    let b_cores = Array.of_list assignment.Dswp.Planner.b_cores in
+    let m = Array.length b_cores in
+    let fifo = Array.make m [] in  (* in-queue contents, head first *)
+    let in_occ = Array.make m 0 in
+    let out_occ = Array.make m 0 in
+    let enq_work = Array.make m 0 in
+    let b_running = Array.make m None in
+    let b_done_count = Array.make m 0 in
+    let in_hw = ref 0 and out_hw = ref 0 in
+    let a_running = ref None in
+    let c_running = ref false in
+    let a_state = ref (if iters = 0 then ADone else ARun 0) in
+    let dispatch_done = Array.make iters (-1) in
+    let committed = Array.make iters false in
+    let c_next = ref 0 in
+    let busy = Array.make n 0 in
+    let misspec_delayed = ref 0 in
+    let squashes = ref 0 in
+    let sched_rev = ref [] in
+    let physical_core tid =
+      match phase tid with
+      | Ir.Task.A -> assignment.Dswp.Planner.a_core
+      | Ir.Task.C -> assignment.Dswp.Planner.c_core
+      | Ir.Task.B -> b_cores.(assigned_core.(tid))
+    in
+    let record_completion tid =
+      sched_rev :=
+        {
+          s_task = tid;
+          s_core = physical_core tid;
+          s_start = start_time.(tid);
+          s_finish = finish_time.(tid);
+        }
+        :: !sched_rev
+    in
+    let events : event Simcore.Heap.t = Simcore.Heap.create () in
+    let now = ref 0 in
+    let push_finish tid =
+      Simcore.Heap.add events ~prio:finish_time.(tid) (Finish (tid, generation.(tid)))
+    in
+    (* Wakes are deduplicated: a blocked task re-requests the same wake
+       time on every sweep, and without the filter the heap grows
+       quadratically. *)
+    let pending_wakes : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+    let push_wake t =
+      if t > !now && not (Hashtbl.mem pending_wakes t) then begin
+        Hashtbl.add pending_wakes t ();
+        Simcore.Heap.add events ~prio:t Wake
+      end
+    in
+    (* Constraint a single edge puts on its consumer's start time.
+       Returns None when the producer is not far enough along: finished
+       (default), or merely started when eager forwarding is on. *)
+    let constraint_of (e : Input.edge) =
+      let p = e.Input.src in
+      if policy.forwarding then begin
+        if start_time.(p) < 0 then None
+        else
+          Some (max 0 (start_time.(p) + e.Input.src_offset + lat - e.Input.dst_offset))
+      end
+      else if completed.(p) then Some (finish_time.(p) + lat)
+      else None
+    in
+    (* Which in-edges gate the *start* of a consumer: synchronized edges
+       always; speculated edges only under Serialize. *)
+    let gating (e : Input.edge) =
+      (not e.Input.speculated) || policy.misspec = Serialize
+    in
+    (* Compute the earliest legal start of a task given a base time, or
+       None if some gating producer is not ready.  Also reports whether a
+       speculated edge pushed the time. *)
+    let ready_time tid base =
+      let rec go acc acc_nonspec = function
+        | [] -> Some (acc, acc_nonspec)
+        | e :: rest ->
+          if gating e then (
+            match constraint_of e with
+            | None -> None
+            | Some c ->
+              let acc = max acc c in
+              let acc_nonspec = if e.Input.speculated then acc_nonspec else max acc_nonspec c in
+              go acc acc_nonspec rest)
+          else go acc acc_nonspec rest
+      in
+      match go base base in_edges.(tid) with
+      | None -> None
+      | Some (t, t_nonspec) -> Some (max t min_restart.(tid), t_nonspec)
+    in
+    let start_task tid core t =
+      start_time.(tid) <- t;
+      finish_time.(tid) <- t + work tid;
+      busy.(core) <- busy.(core) + work tid;
+      push_finish tid
+    in
+    (* Squash a task (and transitively any started consumer of it). *)
+    let rec squash tid =
+      if start_time.(tid) >= 0 && not committed.(iteration tid) then begin
+        incr squashes;
+        generation.(tid) <- generation.(tid) + 1;
+        List.iter (fun (e : Input.edge) -> squash e.Input.dst) out_edges.(tid);
+        (match phase tid with
+        | Ir.Task.B ->
+          let slot = assigned_core.(tid) in
+          (match b_running.(slot) with
+          | Some r when r = tid ->
+            b_running.(slot) <- None;
+            core_free.(b_cores.(slot)) <- !now
+          | _ ->
+            (* Already finished: withdraw its out-queue entry and put its
+               work back into the outstanding-work metric (a running task
+               never left it). *)
+            if completed.(tid) then begin
+              out_occ.(slot) <- out_occ.(slot) - 1;
+              enq_work.(slot) <- enq_work.(slot) + work tid
+            end);
+          (* Back to the head of its in-queue for re-execution. *)
+          fifo.(slot) <- tid :: fifo.(slot);
+          in_occ.(slot) <- in_occ.(slot) + 1
+        | Ir.Task.A | Ir.Task.C ->
+          (* A and C run non-speculatively in this plan; they are never
+             consumers of speculated edges under Squash. *)
+          ());
+        start_time.(tid) <- -1;
+        finish_time.(tid) <- -1;
+        completed.(tid) <- false
+      end
+    in
+    let try_start_c () =
+      if (not !c_running) && !c_next < iters then begin
+        let i = !c_next in
+        let v = views.(i) in
+        let delivery =
+          if v.bs = [] then if dispatch_done.(i) < 0 then None else Some (dispatch_done.(i) + lat)
+          else
+            List.fold_left
+              (fun acc b ->
+                match acc with
+                | None -> None
+                | Some t -> if completed.(b) then Some (max t (finish_time.(b) + lat)) else None)
+              (Some 0) v.bs
+        in
+        match delivery with
+        | None -> false
+        | Some deliv -> (
+          let base = max deliv core_free.(assignment.Dswp.Planner.c_core) in
+          let readiness =
+            match v.c with None -> Some (base, base) | Some c_tid -> ready_time c_tid base
+          in
+          match readiness with
+          | None -> false
+          | Some (t, t_nonspec) ->
+            if t > !now then begin
+              push_wake t;
+              false
+            end
+            else begin
+              (* Commit iteration i: consume the out-queue entries. *)
+              List.iter (fun b -> out_occ.(assigned_core.(b)) <- out_occ.(assigned_core.(b)) - 1) v.bs;
+              committed.(i) <- true;
+              incr c_next;
+              (match v.c with
+              | None -> ()
+              | Some c_tid ->
+                if t > t_nonspec then incr misspec_delayed;
+                start_task c_tid assignment.Dswp.Planner.c_core !now;
+                core_free.(assignment.Dswp.Planner.c_core) <- finish_time.(c_tid);
+                if work c_tid > 0 then c_running := true
+                else begin
+                  completed.(c_tid) <- true;
+                  record_completion c_tid
+                end);
+              true
+            end)
+      end
+      else false
+    in
+    let try_start_b slot =
+      match b_running.(slot) with
+      | Some _ -> false
+      | None -> (
+        if out_occ.(slot) >= cap then false
+        else
+          match fifo.(slot) with
+          | [] -> false
+          | tid :: rest -> (
+            if arrival.(tid) > !now then begin
+              push_wake arrival.(tid);
+              false
+            end
+            else
+              let base = max arrival.(tid) core_free.(b_cores.(slot)) in
+              match ready_time tid base with
+              | None -> false
+              | Some (t, t_nonspec) ->
+                if t > !now then begin
+                  push_wake t;
+                  false
+                end
+                else begin
+                  fifo.(slot) <- rest;
+                  in_occ.(slot) <- in_occ.(slot) - 1;
+                  (* enq_work keeps counting the running task until it
+                     finishes: dispatch balances on outstanding work. *)
+                  if t > t_nonspec then incr misspec_delayed;
+                  start_task tid b_cores.(slot) !now;
+                  core_free.(b_cores.(slot)) <- finish_time.(tid);
+                  b_running.(slot) <- Some tid;
+                  true
+                end))
+    in
+    let dispatch_b i pending =
+      (* Returns the not-yet-dispatched remainder and whether anything
+         was dispatched. *)
+      let moved = ref false in
+      let rec go = function
+        | [] -> []
+        | b :: rest -> (
+          let best = ref (-1) in
+          for s = m - 1 downto 0 do
+            if in_occ.(s) < cap && (!best < 0 || enq_work.(s) <= enq_work.(!best)) then best := s
+          done;
+          match !best with
+          | -1 -> b :: rest
+          | s ->
+            fifo.(s) <- fifo.(s) @ [ b ];
+            in_occ.(s) <- in_occ.(s) + 1;
+            if in_occ.(s) > !in_hw then in_hw := in_occ.(s);
+            enq_work.(s) <- enq_work.(s) + work b;
+            assigned_core.(b) <- s;
+            arrival.(b) <- !now + lat;
+            moved := true;
+            go rest)
+      in
+      let remaining = go pending in
+      if remaining = [] then dispatch_done.(i) <- !now;
+      (remaining, !moved)
+    in
+    let try_advance_a () =
+      match !a_state with
+      | ADone -> false
+      | ADispatch (i, pending) ->
+        let remaining, moved = dispatch_b i pending in
+        if remaining = [] then begin
+          a_state := (if i + 1 < iters then ARun (i + 1) else ADone);
+          true
+        end
+        else begin
+          if moved then a_state := ADispatch (i, remaining);
+          moved
+        end
+      | ARun i -> (
+        if !a_running <> None then false
+        else
+          match views.(i).a with
+          | None ->
+            a_state := ADispatch (i, views.(i).bs);
+            true
+          | Some tid -> (
+            let base = core_free.(assignment.Dswp.Planner.a_core) in
+            match ready_time tid base with
+            | None -> false
+            | Some (t, t_nonspec) ->
+              if t > !now then begin
+                push_wake t;
+                false
+              end
+              else begin
+                if t > t_nonspec then incr misspec_delayed;
+                start_task tid assignment.Dswp.Planner.a_core !now;
+                core_free.(assignment.Dswp.Planner.a_core) <- finish_time.(tid);
+                a_running := Some tid;
+                true
+              end))
+    in
+    let schedule_all () =
+      let progress = ref true in
+      while !progress do
+        progress := false;
+        if try_start_c () then progress := true;
+        for s = 0 to m - 1 do
+          if try_start_b s then progress := true
+        done;
+        if try_advance_a () then progress := true
+      done
+    in
+    schedule_all ();
+    let exhausted = ref false in
+    while not !exhausted do
+      match Simcore.Heap.pop_min events with
+      | None -> exhausted := true
+      | Some (t, ev) ->
+        now := max !now t;
+        Hashtbl.remove pending_wakes t;
+        (match ev with
+        | Wake -> ()
+        | Finish (tid, gen) ->
+          if gen = generation.(tid) && start_time.(tid) >= 0 && not completed.(tid) then begin
+            completed.(tid) <- true;
+            record_completion tid;
+            (match phase tid with
+            | Ir.Task.A ->
+              a_running := None;
+              (match !a_state with
+              | ARun i when views.(i).a = Some tid -> a_state := ADispatch (i, views.(i).bs)
+              | _ -> ())
+            | Ir.Task.B ->
+              let slot = assigned_core.(tid) in
+              (match b_running.(slot) with
+              | Some r when r = tid -> b_running.(slot) <- None
+              | _ -> ());
+              enq_work.(slot) <- enq_work.(slot) - work tid;
+              b_done_count.(slot) <- b_done_count.(slot) + 1;
+              out_occ.(slot) <- out_occ.(slot) + 1;
+              if out_occ.(slot) > !out_hw then out_hw := out_occ.(slot)
+            | Ir.Task.C -> c_running := false);
+            (* Under Squash, a finishing producer invalidates consumers
+               that started too early on a speculated edge. *)
+            if policy.misspec = Squash then
+              List.iter
+                (fun (e : Input.edge) ->
+                  if e.Input.speculated && start_time.(e.Input.dst) >= 0
+                     && start_time.(e.Input.dst) < finish_time.(tid)
+                     && not committed.(iteration e.Input.dst)
+                  then begin
+                    squash e.Input.dst;
+                    min_restart.(e.Input.dst) <-
+                      max min_restart.(e.Input.dst) (finish_time.(tid) + lat)
+                  end)
+                out_edges.(tid)
+          end);
+        schedule_all ()
+    done;
+    let span = Array.fold_left max 0 finish_time in
+    let all_done = Array.for_all (fun d -> d) completed in
+    if not all_done then
+      failwith (Printf.sprintf "Pipeline.run_loop: deadlock in loop %s" loop.Input.name);
+    (* A task completed, squashed, and re-run appears twice in the raw
+       record; only its last completion is real. *)
+    let schedule =
+      let seen = Hashtbl.create ntasks in
+      List.filter
+        (fun e ->
+          if Hashtbl.mem seen e.s_task then false
+          else begin
+            Hashtbl.add seen e.s_task ();
+            true
+          end)
+        !sched_rev
+      |> List.rev
+    in
+    {
+      span;
+      busy;
+      misspec_delayed = !misspec_delayed;
+      squashes = !squashes;
+      in_queue_high_water = !in_hw;
+      out_queue_high_water = !out_hw;
+      b_tasks_per_core = b_done_count;
+      schedule;
+    }
+  end
+
+let run cfg ?(policy = default_policy) (input : Input.t) =
+  let seq = Input.total_work input in
+  let loops = ref [] in
+  let total =
+    List.fold_left
+      (fun acc seg ->
+        match seg with
+        | Input.Serial w -> acc + w
+        | Input.Parallel loop ->
+          let r = run_loop cfg ~policy loop in
+          loops := (loop.Input.name, r) :: !loops;
+          acc + r.span)
+      0 input.Input.segments
+  in
+  { total_time = total; sequential_time = seq; loops = List.rev !loops }
+
+let speedup r =
+  if r.total_time = 0 then 1.0
+  else float_of_int r.sequential_time /. float_of_int r.total_time

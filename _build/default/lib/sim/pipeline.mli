@@ -1,0 +1,61 @@
+(** Event-driven simulator of the paper's execution plan (Section 3).
+
+    One core runs phase A tasks serially; phase B tasks are dispatched, at
+    phase-A completion, to the least-loaded B core's bounded in-queue
+    (32 entries by default — a full queue stalls the A core); each B core
+    executes its queue in FIFO order and delivers results through a
+    bounded out-queue; one core runs phase C serially, consuming and
+    committing iterations in order.  Communication through a queue costs
+    [comm_latency] work units.
+
+    Dependence handling follows the paper's methodology: synchronized
+    edges always delay the consumer until the producer finishes;
+    speculated edges are the dynamic dependences that actually occurred,
+    and under the default [Serialize] policy they too delay the consumer
+    (loss of speculation benefit, no extra cost).  The [Squash] policy
+    instead lets the consumer run and squashes + re-executes it when the
+    producer finishes later (modelling wasted work).  [forwarding] enables
+    eager value forwarding: a consumer may overlap a producer provided its
+    read (at [dst_offset]) happens no earlier than the producer's write
+    (at [src_offset]). *)
+
+type misspec_policy = Serialize | Squash
+
+type policy = { misspec : misspec_policy; forwarding : bool }
+
+val default_policy : policy
+(** [Serialize], no forwarding — the paper's model. *)
+
+type sched_entry = {
+  s_task : int;
+  s_core : int;
+  s_start : int;
+  s_finish : int;
+}
+(** Final (non-squashed) execution interval of one task. *)
+
+type loop_result = {
+  span : int;  (** parallel execution time of the loop *)
+  busy : int array;  (** per-core busy work units (includes squashed work) *)
+  misspec_delayed : int;  (** tasks whose start a speculated edge delayed *)
+  squashes : int;  (** re-executions under [Squash] *)
+  in_queue_high_water : int;
+  out_queue_high_water : int;
+  b_tasks_per_core : int array;  (** B tasks executed per B core *)
+  schedule : sched_entry list;
+      (** one entry per task, in completion order; intervals on one core
+          never overlap *)
+}
+
+type result = {
+  total_time : int;  (** parallel time of the whole program *)
+  sequential_time : int;  (** single-threaded time of the same input *)
+  loops : (string * loop_result) list;
+}
+
+val run_loop : Machine.Config.t -> ?policy:policy -> Input.loop -> loop_result
+
+val run : Machine.Config.t -> ?policy:policy -> Input.t -> result
+
+val speedup : result -> float
+(** [sequential_time / total_time]; 1.0 for an empty program. *)

@@ -1,0 +1,35 @@
+(** Thread sweeps and speedup series — the data behind Figures 4-7 and
+    Table 2 of the paper. *)
+
+type point = {
+  threads : int;
+  speedup : float;
+  result : Pipeline.result;
+}
+
+type series = { label : string; points : point list }
+
+val paper_thread_counts : int list
+(** 1, 2, 4, 6, 8, 12, 16, 24, 32 — the sweep used throughout. *)
+
+val sweep :
+  ?threads:int list ->
+  ?policy:Pipeline.policy ->
+  ?config:(cores:int -> Machine.Config.t) ->
+  label:string ->
+  Input.t ->
+  series
+(** Run the program on machines of each size; speedups are relative to
+    the single-threaded time. *)
+
+val best : series -> point
+(** The paper's Table 2 metric: the point of maximum speedup, preferring
+    the minimum thread count achieving it (within 1%% of the maximum). *)
+
+val at_threads : series -> int -> point option
+
+val moore_speedup : threads:int -> float
+(** Expected speedup from Moore's-law trends for a given core count:
+    1.4x per doubling of cores, i.e. [1.4 ** log2 threads] (Table 2). *)
+
+val pp_series : Format.formatter -> series -> unit

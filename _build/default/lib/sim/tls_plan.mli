@@ -1,0 +1,33 @@
+(** TLS-style execution plan (paper Section 3.2, closing remark).
+
+    Instead of pipelining phases across cores, thread-level speculation
+    runs {e whole iterations} speculatively in parallel: iteration [i] is
+    dispatched, in order, to the least-loaded core; its speculative state
+    commits in iteration order; a synchronized or dynamically-occurring
+    speculated dependence from iteration [j < i] delays iteration [i]'s
+    execution past [j]'s finish.  Commit requires the previous iteration
+    to have committed, and buffered speculative state is limited: at most
+    [queue_capacity] iterations may be in flight beyond the commit
+    frontier (the paper: cores "should be provided with sufficient
+    buffering resources" — this models that resource).
+
+    The paper asserts DSWP-style and TLS-style plans reach similar
+    results; {!run_loop} lets the bench harness check exactly that. *)
+
+type result = {
+  span : int;
+  commits : int;  (** iterations committed *)
+  stalled_on_buffer : int;  (** dispatches delayed by the in-flight cap *)
+  misspec_delayed : int;  (** iterations a dependence actually delayed *)
+}
+
+val run_loop : Machine.Config.t -> Input.loop -> result
+(** Iterations are the paper's A+B+C task groups merged; single-core
+    machines execute sequentially. *)
+
+val run : Machine.Config.t -> Input.t -> Pipeline.result
+(** Whole-program wrapper mirroring {!Pipeline.run}'s accounting (loop
+    details beyond the span are folded into a [Pipeline.loop_result]
+    with empty per-core data). *)
+
+val speedup : Machine.Config.t -> Input.t -> float

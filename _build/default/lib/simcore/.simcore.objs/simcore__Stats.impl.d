@@ -1,0 +1,1 @@
+lib/simcore/stats.ml: Hashtbl List Option

@@ -1,0 +1,24 @@
+(** Binary min-heap keyed by an integer priority.
+
+    Used by the simulator for event ordering and by the planner for
+    least-loaded core selection.  Ties are broken by insertion order so
+    that simulation results are deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> prio:int -> 'a -> unit
+(** Insert an element with the given priority. *)
+
+val pop_min : 'a t -> (int * 'a) option
+(** Remove and return the (priority, element) pair with the smallest
+    priority; among equal priorities the earliest-inserted wins. *)
+
+val peek_min : 'a t -> (int * 'a) option
+
+val clear : 'a t -> unit

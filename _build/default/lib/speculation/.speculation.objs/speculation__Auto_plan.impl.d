@@ -1,0 +1,1 @@
+lib/speculation/auto_plan.ml: Format Hashtbl Ir List Option Profiling Spec_plan

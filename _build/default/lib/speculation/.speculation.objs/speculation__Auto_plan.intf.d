@@ -1,0 +1,1 @@
+lib/speculation/auto_plan.mli: Annotations Format Ir Profiling Spec_plan

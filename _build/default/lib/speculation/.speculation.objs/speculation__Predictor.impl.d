@@ -1,0 +1,1 @@
+lib/speculation/predictor.ml:

@@ -1,0 +1,1 @@
+lib/speculation/resolve.ml: Array Ir List Option Profiling Spec_plan

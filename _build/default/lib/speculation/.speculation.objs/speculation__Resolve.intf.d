@@ -1,0 +1,1 @@
+lib/speculation/resolve.mli: Ir Profiling Spec_plan

@@ -1,0 +1,1 @@
+lib/speculation/spec_plan.ml: Annotations

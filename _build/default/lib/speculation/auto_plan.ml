@@ -1,0 +1,72 @@
+type loc_profile = {
+  lp_loc : int;
+  lp_name : string;
+  lp_edges : int;
+  lp_predicted : int;
+  lp_conflict_rate : float;
+  lp_decision : decision;
+}
+
+and decision = Value_speculate | Alias_speculate | Synchronize
+
+let classify ~value_accuracy ~max_conflict_rate ~edges ~predicted ~rate =
+  let accuracy = if edges = 0 then 0.0 else float_of_int predicted /. float_of_int edges in
+  if accuracy >= value_accuracy then Value_speculate
+  else if rate <= max_conflict_rate then Alias_speculate
+  else Synchronize
+
+let collect ~value_accuracy ~max_conflict_rate ~loc_name ~(loop : Ir.Trace.loop) ~mem_edges =
+  let iterations = max 1 (Ir.Trace.loop_iterations loop) in
+  let cross = Profiling.Mem_profile.cross_iteration loop mem_edges in
+  let per_loc : (int, int * int) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun (e : Profiling.Mem_profile.edge) ->
+      (* Commutative-tagged dependences are the annotation's business,
+         not the planner's. *)
+      if e.Profiling.Mem_profile.group = None then begin
+        let edges, predicted =
+          Option.value ~default:(0, 0) (Hashtbl.find_opt per_loc e.Profiling.Mem_profile.loc)
+        in
+        Hashtbl.replace per_loc e.Profiling.Mem_profile.loc
+          (edges + 1, predicted + if e.Profiling.Mem_profile.predicted then 1 else 0)
+      end)
+    cross;
+  Hashtbl.fold
+    (fun loc (edges, predicted) acc ->
+      let rate = float_of_int edges /. float_of_int iterations in
+      {
+        lp_loc = loc;
+        lp_name = loc_name loc;
+        lp_edges = edges;
+        lp_predicted = predicted;
+        lp_conflict_rate = rate;
+        lp_decision = classify ~value_accuracy ~max_conflict_rate ~edges ~predicted ~rate;
+      }
+      :: acc)
+    per_loc []
+  |> List.sort (fun a b -> compare (b.lp_conflict_rate, b.lp_loc) (a.lp_conflict_rate, a.lp_loc))
+
+let profile_locations ~loc_name ~loop ~mem_edges =
+  collect ~value_accuracy:0.75 ~max_conflict_rate:0.2 ~loc_name ~loop ~mem_edges
+
+let infer ?(value_accuracy = 0.75) ?(max_conflict_rate = 0.2) ?commutative
+    ?(control_speculated = true) ~loc_name ~loop ~mem_edges () =
+  let profiles = collect ~value_accuracy ~max_conflict_rate ~loc_name ~loop ~mem_edges in
+  let named d = List.filter_map (fun p -> if p.lp_decision = d then Some p.lp_name else None) profiles in
+  Spec_plan.make ~alias:Spec_plan.Alias_all
+    ~value_locs:(named Value_speculate)
+    ~sync_locs:(named Synchronize)
+    ~control_speculated ?commutative ()
+
+let pp_profile ppf profiles =
+  Format.fprintf ppf "%-24s %8s %10s %8s  %s@." "location" "edges" "predicted" "rate"
+    "decision";
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "%-24s %8d %10d %8.3f  %s@." p.lp_name p.lp_edges p.lp_predicted
+        p.lp_conflict_rate
+        (match p.lp_decision with
+        | Value_speculate -> "value-speculate"
+        | Alias_speculate -> "alias-speculate"
+        | Synchronize -> "synchronize"))
+    profiles

@@ -1,0 +1,53 @@
+(** Profile-guided speculation planning.
+
+    The paper requires "judicious use of speculation to break infrequent
+    or easily predictable dependences" (Section 2.1) and leaves the
+    choice to a profiling pass.  This module is that pass: given one
+    profiled run of a loop, classify every shared location by how its
+    cross-iteration dependences behave and assemble a {!Spec_plan.t}
+    automatically:
+
+    - locations whose reads a last-value predictor captures well are
+      value-speculated;
+    - locations whose dependences manifest on few iteration pairs are
+      alias-speculated (rare misspeculation is cheaper than synchronizing
+      every iteration);
+    - locations that conflict densely are synchronized — speculating them
+      would serialize anyway and a real machine would pay squash costs;
+    - commutative groups come from the user's annotations, which no
+      profile can infer (that is the paper's thesis). *)
+
+type loc_profile = {
+  lp_loc : int;
+  lp_name : string;
+  lp_edges : int;  (** cross-iteration dependences observed *)
+  lp_predicted : int;  (** of those, how many a last-value predictor got right *)
+  lp_conflict_rate : float;  (** edges per loop iteration *)
+  lp_decision : decision;
+}
+
+and decision = Value_speculate | Alias_speculate | Synchronize
+
+val profile_locations :
+  loc_name:(int -> string) ->
+  loop:Ir.Trace.loop ->
+  mem_edges:Profiling.Mem_profile.edge list ->
+  loc_profile list
+(** One entry per location with at least one cross-iteration dependence,
+    sorted by descending conflict rate. *)
+
+val infer :
+  ?value_accuracy:float ->
+  ?max_conflict_rate:float ->
+  ?commutative:Annotations.Commutative.t ->
+  ?control_speculated:bool ->
+  loc_name:(int -> string) ->
+  loop:Ir.Trace.loop ->
+  mem_edges:Profiling.Mem_profile.edge list ->
+  unit ->
+  Spec_plan.t
+(** [value_accuracy] (default 0.75) is the minimum predicted fraction for
+    value speculation; [max_conflict_rate] (default 0.2) the maximum
+    edges-per-iteration for alias speculation. *)
+
+val pp_profile : Format.formatter -> loc_profile list -> unit

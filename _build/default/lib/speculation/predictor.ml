@@ -1,0 +1,46 @@
+module Last_value = struct
+  type t = { mutable last : int option; mutable hits : int; mutable total : int }
+
+  let create () = { last = None; hits = 0; total = 0 }
+
+  let predict t = t.last
+
+  let observe t v =
+    let correct = t.last = Some v in
+    if correct then t.hits <- t.hits + 1;
+    t.total <- t.total + 1;
+    t.last <- Some v;
+    correct
+
+  let accuracy t = if t.total = 0 then 0.0 else float_of_int t.hits /. float_of_int t.total
+
+  let observations t = t.total
+end
+
+module Stride = struct
+  type t = {
+    mutable prev : int option;
+    mutable stride : int option;
+    mutable hits : int;
+    mutable total : int;
+  }
+
+  let create () = { prev = None; stride = None; hits = 0; total = 0 }
+
+  let predict t =
+    match (t.prev, t.stride) with Some p, Some s -> Some (p + s) | _ -> None
+
+  let observe t v =
+    let correct = predict t = Some v in
+    if correct then t.hits <- t.hits + 1;
+    t.total <- t.total + 1;
+    (match t.prev with
+    | Some p -> t.stride <- Some (v - p)
+    | None -> ());
+    t.prev <- Some v;
+    correct
+
+  let accuracy t = if t.total = 0 then 0.0 else float_of_int t.hits /. float_of_int t.total
+
+  let observations t = t.total
+end

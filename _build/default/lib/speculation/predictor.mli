@@ -1,0 +1,40 @@
+(** Value predictors used by value speculation (Lipasti & Shen).
+
+    The framework speculates that a value read at a program point equals
+    what a predictor would produce; a correct prediction removes the
+    dependence, a misprediction serializes.  Both classic predictors are
+    provided; the resolver uses last-value semantics, while the stride
+    predictor backs tests and ablations. *)
+
+module Last_value : sig
+  type t
+
+  val create : unit -> t
+
+  val predict : t -> int option
+  (** [None] before the first observation. *)
+
+  val observe : t -> int -> bool
+  (** Feed the actual value; returns whether the prediction was correct
+      (always [false] for the first observation). *)
+
+  val accuracy : t -> float
+  (** Correct predictions / observations; 0 before any observation. *)
+
+  val observations : t -> int
+end
+
+module Stride : sig
+  type t
+
+  val create : unit -> t
+
+  val predict : t -> int option
+  (** Needs two observations to establish a stride. *)
+
+  val observe : t -> int -> bool
+
+  val accuracy : t -> float
+
+  val observations : t -> int
+end

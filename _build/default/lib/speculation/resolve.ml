@@ -1,0 +1,124 @@
+type edge = {
+  src : int;
+  dst : int;
+  loc : int;
+  action : Ir.Dep.action;
+  src_offset : int;
+  dst_offset : int;
+  reason : reason;
+}
+
+and reason =
+  | Pipeline_dataflow
+  | Commutative_group of string
+  | Value_predicted
+  | Value_mispredicted
+  | Alias_speculated
+  | Control_speculated
+  | Explicit_sync
+  | Default_sync
+
+let reason_to_string = function
+  | Pipeline_dataflow -> "pipeline-dataflow"
+  | Commutative_group g -> "commutative:" ^ g
+  | Value_predicted -> "value-predicted"
+  | Value_mispredicted -> "value-mispredicted"
+  | Alias_speculated -> "alias-speculated"
+  | Control_speculated -> "control-speculated"
+  | Explicit_sync -> "explicit-sync"
+  | Default_sync -> "default-sync"
+
+type stats = {
+  total : int;
+  removed : int;
+  speculated : int;
+  synchronized : int;
+  by_reason : (reason * int) list;
+}
+
+let same_iteration_dataflow (loop : Ir.Trace.loop) src dst =
+  let s = loop.Ir.Trace.tasks.(src) and c = loop.Ir.Trace.tasks.(dst) in
+  s.Ir.Task.iteration = c.Ir.Task.iteration
+  && Ir.Task.compare_phase s.Ir.Task.phase c.Ir.Task.phase < 0
+
+let compare_reasons (r1, _) (r2, _) =
+  compare (reason_to_string r1) (reason_to_string r2)
+
+let resolve ~(plan : Spec_plan.t) ~loc_name ~(loop : Ir.Trace.loop) ~mem_edges =
+  let groups = Spec_plan.commutative_groups plan in
+  let value_locs = plan.Spec_plan.value_locs in
+  let sync_locs = plan.Spec_plan.sync_locs in
+  let alias_covers lname =
+    match plan.Spec_plan.alias with
+    | Spec_plan.No_alias -> false
+    | Spec_plan.Alias_all -> true
+    | Spec_plan.Alias_locs names -> List.mem lname names
+  in
+  let resolve_mem (e : Profiling.Mem_profile.edge) =
+    let lname = loc_name e.Profiling.Mem_profile.loc in
+    let action, reason =
+      match e.Profiling.Mem_profile.group with
+      | Some g when List.mem g groups -> (Ir.Dep.Remove, Commutative_group g)
+      | _ ->
+        if same_iteration_dataflow loop e.src e.dst then
+          (Ir.Dep.Synchronize, Pipeline_dataflow)
+        else if List.mem lname sync_locs then (Ir.Dep.Synchronize, Explicit_sync)
+        else if List.mem lname value_locs then
+          if e.predicted then (Ir.Dep.Remove, Value_predicted)
+          else (Ir.Dep.Speculate, Value_mispredicted)
+        else if alias_covers lname then (Ir.Dep.Speculate, Alias_speculated)
+        else (Ir.Dep.Synchronize, Default_sync)
+    in
+    {
+      src = e.src;
+      dst = e.dst;
+      loc = e.loc;
+      action;
+      src_offset = e.src_offset;
+      dst_offset = e.dst_offset;
+      reason;
+    }
+  in
+  let resolve_explicit (d : Ir.Dep.t) =
+    let action, reason =
+      match d.Ir.Dep.kind with
+      | Ir.Dep.Control ->
+        if plan.Spec_plan.control_speculated then (Ir.Dep.Speculate, Control_speculated)
+        else (Ir.Dep.Synchronize, Explicit_sync)
+      | Ir.Dep.Register | Ir.Dep.Memory ->
+        if same_iteration_dataflow loop d.Ir.Dep.src d.Ir.Dep.dst then
+          (Ir.Dep.Synchronize, Pipeline_dataflow)
+        else (Ir.Dep.Synchronize, Explicit_sync)
+    in
+    {
+      src = d.Ir.Dep.src;
+      dst = d.Ir.Dep.dst;
+      loc = -1;
+      action;
+      src_offset = 0;
+      dst_offset = 0;
+      reason;
+    }
+  in
+  let edges =
+    List.map resolve_mem mem_edges
+    @ List.map resolve_explicit loop.Ir.Trace.explicit_deps
+  in
+  let count pred = List.length (List.filter pred edges) in
+  let reasons =
+    List.fold_left
+      (fun acc e ->
+        let cur = Option.value ~default:0 (List.assoc_opt e.reason acc) in
+        (e.reason, cur + 1) :: List.remove_assoc e.reason acc)
+      [] edges
+  in
+  let stats =
+    {
+      total = List.length edges;
+      removed = count (fun e -> e.action = Ir.Dep.Remove);
+      speculated = count (fun e -> e.action = Ir.Dep.Speculate);
+      synchronized = count (fun e -> e.action = Ir.Dep.Synchronize);
+      by_reason = List.sort compare_reasons reasons;
+    }
+  in
+  (edges, stats)

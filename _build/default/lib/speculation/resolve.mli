@@ -1,0 +1,49 @@
+(** Dependence resolution: raw profiled dependences -> scheduling actions.
+
+    For every dynamic dependence the profiler found, decide — using a
+    {!Spec_plan.t} — whether the parallel execution synchronizes it,
+    speculates it (the dynamic occurrence then serializes consumer after
+    producer, per the paper's simulation methodology), or removes it
+    entirely (Commutative group internals, correctly predicted values,
+    pipeline dataflow the queues already carry). *)
+
+type edge = {
+  src : int;
+  dst : int;
+  loc : int;  (** -1 for explicit register/control dependences *)
+  action : Ir.Dep.action;
+  src_offset : int;
+  dst_offset : int;
+  reason : reason;
+}
+
+and reason =
+  | Pipeline_dataflow  (** same-iteration A->B / B->C value, carried by queues *)
+  | Commutative_group of string
+  | Value_predicted
+  | Value_mispredicted
+  | Alias_speculated
+  | Control_speculated
+  | Explicit_sync
+  | Default_sync
+
+type stats = {
+  total : int;
+  removed : int;
+  speculated : int;
+  synchronized : int;
+  by_reason : (reason * int) list;
+}
+
+val reason_to_string : reason -> string
+
+val resolve :
+  plan:Spec_plan.t ->
+  loc_name:(int -> string) ->
+  loop:Ir.Trace.loop ->
+  mem_edges:Profiling.Mem_profile.edge list ->
+  edge list * stats
+(** Resolves both the profiled memory edges and the loop's explicit
+    register/control dependences.  Same-iteration edges that follow
+    pipeline phase order are synchronized (the queues deliver them);
+    cross-iteration edges are the ones speculation must handle. *)

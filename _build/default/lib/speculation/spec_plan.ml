@@ -1,0 +1,29 @@
+type alias_scope = No_alias | Alias_all | Alias_locs of string list
+
+type t = {
+  alias : alias_scope;
+  value_locs : string list;
+  sync_locs : string list;
+  control_speculated : bool;
+  commutative : Annotations.Commutative.t;
+  silent_stores : bool;
+}
+
+let make ?(alias = No_alias) ?(value_locs = []) ?(sync_locs = []) ?(control_speculated = false)
+    ?commutative ?(silent_stores = true) () =
+  let commutative =
+    match commutative with Some c -> c | None -> Annotations.Commutative.create ()
+  in
+  { alias; value_locs; sync_locs; control_speculated; commutative; silent_stores }
+
+let default = make ~silent_stores:false ()
+
+let commutative_groups t = Annotations.Commutative.groups t.commutative
+
+let uses_technique t = function
+  | "alias" -> t.alias <> No_alias
+  | "value" -> t.value_locs <> []
+  | "control" -> t.control_speculated
+  | "commutative" -> commutative_groups t <> []
+  | "silent" -> t.silent_stores
+  | _ -> false

@@ -1,0 +1,46 @@
+(** A parallelization's speculation and annotation decisions.
+
+    One value of this type captures, for one loop, everything Table 1's
+    "Techniques Required" column lists for a benchmark: which dependences
+    are alias-speculated, which locations are value-speculated, whether
+    control dependences are speculated, which Commutative groups are
+    honoured, and which locations must instead be synchronized (the
+    197.parser trick of routing parser commands through phase A). *)
+
+type alias_scope =
+  | No_alias  (** synchronize every memory dependence *)
+  | Alias_all  (** speculate every remaining cross-iteration memory dep *)
+  | Alias_locs of string list  (** speculate only the named locations *)
+
+type t = {
+  alias : alias_scope;
+  value_locs : string list;
+      (** locations whose reads are value-speculated with a last-value
+          predictor; a correct prediction removes the dependence *)
+  sync_locs : string list;
+      (** locations whose dependences are explicitly synchronized,
+          overriding alias speculation *)
+  control_speculated : bool;  (** speculate explicit control dependences *)
+  commutative : Annotations.Commutative.t;  (** honoured annotations *)
+  silent_stores : bool;  (** silent-store hardware enabled *)
+}
+
+val default : t
+(** No speculation at all: every dependence synchronizes.  This is what a
+    framework without the paper's techniques would do. *)
+
+val make :
+  ?alias:alias_scope ->
+  ?value_locs:string list ->
+  ?sync_locs:string list ->
+  ?control_speculated:bool ->
+  ?commutative:Annotations.Commutative.t ->
+  ?silent_stores:bool ->
+  unit ->
+  t
+
+val commutative_groups : t -> string list
+
+val uses_technique : t -> string -> bool
+(** For reporting: recognises "alias", "value", "control", "commutative",
+    "silent". *)

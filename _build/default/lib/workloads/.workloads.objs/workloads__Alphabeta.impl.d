@@ -1,0 +1,1 @@
+lib/workloads/alphabeta.ml: Hashtbl Int64 List

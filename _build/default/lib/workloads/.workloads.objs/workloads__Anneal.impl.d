@@ -1,0 +1,1 @@
+lib/workloads/anneal.ml: Array Fun Hashtbl List Simcore

@@ -1,0 +1,1 @@
+lib/workloads/bwt.ml: Array Buffer Bytes Char Fun List String

@@ -1,0 +1,1 @@
+lib/workloads/chart_parser.ml: Array List Simcore

@@ -1,0 +1,1 @@
+lib/workloads/dict_compress.ml: Array Buffer Char Hashtbl List String

@@ -1,0 +1,1 @@
+lib/workloads/dict_compress.mli:

@@ -1,0 +1,1 @@
+lib/workloads/lz77.ml: Array Buffer Char List String

@@ -1,0 +1,1 @@
+lib/workloads/minicc.ml: Array Buffer Hashtbl List Printf Simcore String

@@ -1,0 +1,1 @@
+lib/workloads/netflow.ml: Array Fun List Simcore

@@ -1,0 +1,1 @@
+lib/workloads/stackvm.ml: Array Hashtbl List Simcore

@@ -1,0 +1,95 @@
+type position = int64
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let root ~seed = mix (Int64.of_int (seed + 0x5bd1))
+
+let small_of p modulus =
+  Int64.to_int (Int64.rem (Int64.shift_right_logical p 8) (Int64.of_int modulus))
+
+let moves p =
+  let count = 6 + small_of p 13 in
+  List.init count (fun i -> mix (Int64.add p (Int64.of_int ((i * 2) + 1))))
+
+let eval p = small_of (mix p) 2001 - 1000
+
+type entry = { e_depth : int; e_value : int }
+
+type cache = (position, entry) Hashtbl.t
+
+let create_cache () : cache = Hashtbl.create 4096
+
+let cache_size c = Hashtbl.length c
+
+type stats = { nodes : int; cache_hits : int; cache_stores : int }
+
+let search ?cache ~depth ?(alpha = -100000) ?(beta = 100000) pos =
+  let nodes = ref 0 and hits = ref 0 and stores = ref 0 in
+  let rec negamax depth alpha beta pos =
+    incr nodes;
+    if depth = 0 then eval pos
+    else begin
+      let cached =
+        match cache with
+        | Some c -> (
+          match Hashtbl.find_opt c pos with
+          | Some e when e.e_depth >= depth ->
+            incr hits;
+            Some e.e_value
+          | _ -> None)
+        | None -> None
+      in
+      match cached with
+      | Some v -> v
+      | None ->
+        let children = moves pos in
+        (* Order children by static eval: better moves first makes
+           pruning effective and subtree sizes variable. *)
+        let ordered =
+          List.sort (fun a b -> compare (eval b) (eval a)) children
+        in
+        let rec loop best alpha = function
+          | [] -> best
+          | child :: rest ->
+            let v = -negamax (depth - 1) (-beta) (-alpha) child in
+            let best = max best v in
+            let alpha = max alpha v in
+            if alpha >= beta then best else loop best alpha rest
+        in
+        let v = loop (-100000) alpha ordered in
+        (match cache with
+        | Some c ->
+          incr stores;
+          Hashtbl.replace c pos { e_depth = depth; e_value = v }
+        | None -> ());
+        v
+    end
+  in
+  let v = negamax depth alpha beta pos in
+  (v, { nodes = !nodes; cache_hits = !hits; cache_stores = !stores })
+
+let best_root_move ?cache ~depth pos =
+  let children = moves pos in
+  let total = ref { nodes = 1; cache_hits = 0; cache_stores = 0 } in
+  let best =
+    List.fold_left
+      (fun acc child ->
+        let v, st = search ?cache ~depth:(depth - 1) child in
+        let v = -v in
+        total :=
+          {
+            nodes = !total.nodes + st.nodes;
+            cache_hits = !total.cache_hits + st.cache_hits;
+            cache_stores = !total.cache_stores + st.cache_stores;
+          };
+        match acc with
+        | Some (_, bv) when bv >= v -> acc
+        | _ -> Some (child, v))
+      None children
+  in
+  match best with
+  | Some (m, v) -> (m, v, !total)
+  | None -> invalid_arg "Alphabeta.best_root_move: no moves"

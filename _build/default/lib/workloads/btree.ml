@@ -1,0 +1,237 @@
+type node = {
+  mutable keys : (int * int) array;  (* sorted (key, value) *)
+  mutable children : node array;  (* empty for leaves *)
+}
+
+type t = { degree : int; mutable root : node; mutable count : int }
+
+let leaf () = { keys = [||]; children = [||] }
+
+let create ~degree =
+  if degree < 2 then invalid_arg "Btree.create: degree must be >= 2";
+  { degree; root = leaf (); count = 0 }
+
+type report = { nodes_visited : int; restructured : bool; work : int }
+
+let is_leaf n = Array.length n.children = 0
+
+let max_keys t = (2 * t.degree) - 1
+
+(* Index of the first key >= k, by linear scan. *)
+let find_slot n k visited =
+  incr visited;
+  let len = Array.length n.keys in
+  let rec go i = if i < len && fst n.keys.(i) < k then go (i + 1) else i in
+  go 0
+
+let array_insert a i x =
+  let n = Array.length a in
+  Array.init (n + 1) (fun j -> if j < i then a.(j) else if j = i then x else a.(j - 1))
+
+let array_remove a i =
+  let n = Array.length a in
+  Array.init (n - 1) (fun j -> if j < i then a.(j) else a.(j + 1))
+
+let split_child t parent i =
+  (* children.(i) is full: move its median key up into the parent. *)
+  let child = parent.children.(i) in
+  let d = t.degree in
+  let median = child.keys.(d - 1) in
+  let right =
+    {
+      keys = Array.sub child.keys d (d - 1);
+      children = (if is_leaf child then [||] else Array.sub child.children d d);
+    }
+  in
+  child.keys <- Array.sub child.keys 0 (d - 1);
+  if not (is_leaf child) then child.children <- Array.sub child.children 0 d;
+  parent.keys <- array_insert parent.keys i median;
+  parent.children <- array_insert parent.children (i + 1) right
+
+let insert t ~key ~value =
+  let visited = ref 0 in
+  let restructured = ref false in
+  if Array.length t.root.keys = max_keys t then begin
+    let new_root = { keys = [||]; children = [| t.root |] } in
+    split_child t new_root 0;
+    t.root <- new_root;
+    restructured := true
+  end;
+  let rec go n =
+    let i = find_slot n key visited in
+    if i < Array.length n.keys && fst n.keys.(i) = key then n.keys.(i) <- (key, value)
+    else if is_leaf n then begin
+      n.keys <- array_insert n.keys i (key, value);
+      t.count <- t.count + 1
+    end
+    else begin
+      let i =
+        if Array.length n.children.(i).keys = max_keys t then begin
+          split_child t n i;
+          restructured := true;
+          if key > fst n.keys.(i) then i + 1 else i
+        end
+        else i
+      in
+      (* The promoted median may be the key itself: overwrite in place
+         rather than descending and creating a duplicate. *)
+      if i < Array.length n.keys && fst n.keys.(i) = key then n.keys.(i) <- (key, value)
+      else go n.children.(i)
+    end
+  in
+  go t.root;
+  { nodes_visited = !visited; restructured = !restructured; work = 4 + (3 * !visited) }
+
+let lookup t ~key =
+  let visited = ref 0 in
+  let rec go n =
+    let i = find_slot n key visited in
+    if i < Array.length n.keys && fst n.keys.(i) = key then Some (snd n.keys.(i))
+    else if is_leaf n then None
+    else go n.children.(i)
+  in
+  let v = go t.root in
+  (v, { nodes_visited = !visited; restructured = false; work = 2 + (2 * !visited) })
+
+(* Lazy deletion: recurse first, then repair an underfull child by
+   borrowing from a sibling or merging.  Rebalancing therefore happens
+   only when a node genuinely underflows — matching the "rarely
+   rebalanced" behaviour the vortex study depends on. *)
+let delete t ~key =
+  let visited = ref 0 in
+  let restructured = ref false in
+  let d = t.degree in
+  let rec max_entry n =
+    incr visited;
+    if is_leaf n then n.keys.(Array.length n.keys - 1)
+    else max_entry n.children.(Array.length n.children - 1)
+  in
+  (* Merge child i, separator key i, and child i+1 into child i. *)
+  let merge_children n i =
+    restructured := true;
+    let left = n.children.(i) and right = n.children.(i + 1) in
+    left.keys <- Array.concat [ left.keys; [| n.keys.(i) |]; right.keys ];
+    if not (is_leaf left) then left.children <- Array.append left.children right.children;
+    n.keys <- array_remove n.keys i;
+    n.children <- array_remove n.children (i + 1)
+  in
+  (* Grow children.(i) to at least d keys. *)
+  let fill n i =
+    restructured := true;
+    let child = n.children.(i) in
+    if i > 0 && Array.length n.children.(i - 1).keys >= d then begin
+      let left = n.children.(i - 1) in
+      let borrowed = left.keys.(Array.length left.keys - 1) in
+      child.keys <- array_insert child.keys 0 n.keys.(i - 1);
+      n.keys.(i - 1) <- borrowed;
+      left.keys <- array_remove left.keys (Array.length left.keys - 1);
+      if not (is_leaf left) then begin
+        let moved = left.children.(Array.length left.children - 1) in
+        left.children <- array_remove left.children (Array.length left.children - 1);
+        child.children <- array_insert child.children 0 moved
+      end
+    end
+    else if i < Array.length n.children - 1 && Array.length n.children.(i + 1).keys >= d
+    then begin
+      let right = n.children.(i + 1) in
+      let borrowed = right.keys.(0) in
+      child.keys <- array_insert child.keys (Array.length child.keys) n.keys.(i);
+      n.keys.(i) <- borrowed;
+      right.keys <- array_remove right.keys 0;
+      if not (is_leaf right) then begin
+        let moved = right.children.(0) in
+        right.children <- array_remove right.children 0;
+        child.children <- array_insert child.children (Array.length child.children) moved
+      end
+    end
+    else if i > 0 then merge_children n (i - 1)
+    else merge_children n i
+  in
+  let underfull n = Array.length n.keys < d - 1 in
+  let rec remove n k =
+    let i = find_slot n k visited in
+    if i < Array.length n.keys && fst n.keys.(i) = k then begin
+      if is_leaf n then begin
+        n.keys <- array_remove n.keys i;
+        t.count <- t.count - 1
+      end
+      else begin
+        (* Replace with the predecessor and delete it below; the single
+           count decrement happens at the leaf and accounts for [k]. *)
+        let pk, pv = max_entry n.children.(i) in
+        n.keys.(i) <- (pk, pv);
+        remove n.children.(i) pk;
+        if underfull n.children.(i) then fill n i
+      end
+    end
+    else if is_leaf n then () (* key absent *)
+    else begin
+      remove n.children.(i) k;
+      if underfull n.children.(i) then fill n i
+    end
+  in
+  remove t.root key;
+  if Array.length t.root.keys = 0 && not (is_leaf t.root) then begin
+    t.root <- t.root.children.(0);
+    restructured := true
+  end;
+  { nodes_visited = !visited; restructured = !restructured; work = 4 + (3 * !visited) }
+
+let size t = t.count
+
+let keys t =
+  let rec go n acc =
+    if is_leaf n then Array.fold_left (fun acc (k, _) -> k :: acc) acc n.keys
+    else begin
+      let acc = ref acc in
+      for i = 0 to Array.length n.keys - 1 do
+        acc := go n.children.(i) !acc;
+        acc := fst n.keys.(i) :: !acc
+      done;
+      go n.children.(Array.length n.children - 1) !acc
+    end
+  in
+  List.rev (go t.root [])
+
+let check_invariants t =
+  let d = t.degree in
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let rec depth n = if is_leaf n then 0 else 1 + depth n.children.(0) in
+  let expected_depth = depth t.root in
+  let rec go n ~is_root ~lo ~hi ~level =
+    let nk = Array.length n.keys in
+    if (not is_root) && nk < d - 1 then err "node underfull (%d keys)" nk
+    else if nk > (2 * d) - 1 then err "node overfull (%d keys)" nk
+    else begin
+      let bad = ref None in
+      for i = 0 to nk - 1 do
+        let k = fst n.keys.(i) in
+        (match (lo, hi) with
+        | Some l, _ when k <= l -> if !bad = None then bad := Some "lower bound violated"
+        | _, Some h when k >= h -> if !bad = None then bad := Some "upper bound violated"
+        | _ -> ());
+        if i > 0 && fst n.keys.(i - 1) >= k && !bad = None then bad := Some "keys out of order"
+      done;
+      match !bad with
+      | Some msg -> Error msg
+      | None ->
+        if is_leaf n then
+          if level <> expected_depth then
+            err "leaf at depth %d, expected %d" level expected_depth
+          else Ok ()
+        else if Array.length n.children <> nk + 1 then err "child count mismatch"
+        else begin
+          let result = ref (Ok ()) in
+          for i = 0 to nk do
+            let lo' = if i = 0 then lo else Some (fst n.keys.(i - 1)) in
+            let hi' = if i = nk then hi else Some (fst n.keys.(i)) in
+            match !result with
+            | Error _ -> ()
+            | Ok () ->
+              result := go n.children.(i) ~is_root:false ~lo:lo' ~hi:hi' ~level:(level + 1)
+          done;
+          !result
+        end
+    end
+  in
+  go t.root ~is_root:true ~lo:None ~hi:None ~level:0

@@ -1,0 +1,37 @@
+(** In-memory B-tree keyed store — the stand-in for 255.vortex's
+    object-oriented database internals.
+
+    Vortex's parallelization hinges on the fact that its B-tree is only
+    {e rarely} rebalanced by create/delete transactions; alias
+    speculation covers those rare restructurings and the occasional
+    misspeculation they cause is the benchmark's scaling limit.  Each
+    operation therefore reports whether it restructured the tree
+    (split/merge/borrow) so the driver can attach the right conflict
+    footprint. *)
+
+type t
+
+val create : degree:int -> t
+(** Minimum degree [t >= 2]: nodes hold between [degree - 1] and
+    [2 * degree - 1] keys (root excepted). *)
+
+type report = {
+  nodes_visited : int;
+  restructured : bool;  (** a split, merge, or borrow happened *)
+  work : int;
+}
+
+val insert : t -> key:int -> value:int -> report
+
+val delete : t -> key:int -> report
+(** No-op (but still reported) when the key is absent. *)
+
+val lookup : t -> key:int -> int option * report
+
+val size : t -> int
+
+val check_invariants : t -> (unit, string) result
+(** Key ordering, occupancy bounds, and uniform leaf depth. *)
+
+val keys : t -> int list
+(** Ascending. *)

@@ -1,0 +1,115 @@
+type transformed = { data : string; primary : int }
+
+(* Compare rotations i and j of s without materializing them. *)
+let compare_rotations s count i j =
+  let n = String.length s in
+  let rec go k =
+    if k = n then 0
+    else begin
+      incr count;
+      let ci = s.[(i + k) mod n] and cj = s.[(j + k) mod n] in
+      if ci <> cj then compare ci cj else go (k + 1)
+    end
+  in
+  go 0
+
+let sorted_rotations s count =
+  let n = String.length s in
+  let idx = Array.init n Fun.id in
+  Array.sort (compare_rotations s count) idx;
+  idx
+
+let transform s =
+  let n = String.length s in
+  if n = 0 then { data = ""; primary = 0 }
+  else begin
+    let count = ref 0 in
+    let idx = sorted_rotations s count in
+    let data = Bytes.create n in
+    let primary = ref 0 in
+    Array.iteri
+      (fun row i ->
+        if i = 0 then primary := row;
+        Bytes.set data row s.[(i + n - 1) mod n])
+      idx;
+    { data = Bytes.to_string data; primary = !primary }
+  end
+
+let inverse { data; primary } =
+  let n = String.length data in
+  if n = 0 then ""
+  else begin
+    (* Standard BWT inversion via the LF mapping. *)
+    let counts = Array.make 256 0 in
+    String.iter (fun c -> counts.(Char.code c) <- counts.(Char.code c) + 1) data;
+    let firsts = Array.make 256 0 in
+    let acc = ref 0 in
+    for c = 0 to 255 do
+      firsts.(c) <- !acc;
+      acc := !acc + counts.(c)
+    done;
+    let occ = Array.make 256 0 in
+    let lf = Array.make n 0 in
+    String.iteri
+      (fun i c ->
+        let c = Char.code c in
+        lf.(i) <- firsts.(c) + occ.(c);
+        occ.(c) <- occ.(c) + 1)
+      data;
+    let out = Bytes.create n in
+    let row = ref primary in
+    for k = n - 1 downto 0 do
+      Bytes.set out k data.[!row];
+      row := lf.(!row)
+    done;
+    Bytes.to_string out
+  end
+
+let move_to_front s =
+  let table = Array.init 256 Fun.id in
+  let encode c =
+    let c = Char.code c in
+    let rec find i = if table.(i) = c then i else find (i + 1) in
+    let pos = find 0 in
+    for k = pos downto 1 do
+      table.(k) <- table.(k - 1)
+    done;
+    table.(0) <- c;
+    pos
+  in
+  List.init (String.length s) (fun i -> encode s.[i])
+
+let move_to_front_inverse codes =
+  let table = Array.init 256 Fun.id in
+  let buf = Buffer.create (List.length codes) in
+  List.iter
+    (fun pos ->
+      let c = table.(pos) in
+      Buffer.add_char buf (Char.chr c);
+      for k = pos downto 1 do
+        table.(k) <- table.(k - 1)
+      done;
+      table.(0) <- c)
+    codes;
+  Buffer.contents buf
+
+let run_length codes =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | c :: rest ->
+      let rec take n = function
+        | c' :: r when c' = c -> take (n + 1) r
+        | r -> (n, r)
+      in
+      let n, rest = take 1 rest in
+      go ((c, n) :: acc) rest
+  in
+  go [] codes
+
+let run_length_inverse pairs =
+  List.concat_map (fun (c, n) -> List.init n (fun _ -> c)) pairs
+
+let transform_work s =
+  let count = ref 0 in
+  if String.length s > 0 then ignore (sorted_rotations s count);
+  !count

@@ -1,0 +1,29 @@
+(** Burrows-Wheeler transform with move-to-front and run-length coding —
+    the core of bzip2's per-block pipeline ("doReversibleTransformation"
+    followed by "moveToFrontCodeAndSend"). *)
+
+type transformed = {
+  data : string;  (** last column of the sorted rotation matrix *)
+  primary : int;  (** row index of the original string *)
+}
+
+val transform : string -> transformed
+(** BWT via rotation sorting.  Cost is O(n log n) comparisons on typical
+    text. *)
+
+val inverse : transformed -> string
+(** Exact inverse of {!transform}. *)
+
+val move_to_front : string -> int list
+(** MTF coding over the byte alphabet. *)
+
+val move_to_front_inverse : int list -> string
+
+val run_length : int list -> (int * int) list
+(** RLE over MTF output: (symbol, run length) pairs. *)
+
+val run_length_inverse : (int * int) list -> int list
+
+val transform_work : string -> int
+(** Abstract work units for transforming a block of this content —
+    counts the comparisons the rotation sort actually performs. *)

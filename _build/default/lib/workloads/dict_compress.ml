@@ -1,0 +1,143 @@
+type restart_policy = Heuristic | Fixed_interval of int
+
+type result = {
+  codes : int list;
+  output_bits : int;
+  restarts : int;
+  work : int;
+  segments : (int * int) list;
+}
+
+let max_dict = 4096
+
+type state = {
+  mutable dict : (string, int) Hashtbl.t;
+  mutable next_code : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let fresh_state () =
+  let dict = Hashtbl.create 512 in
+  for c = 0 to 255 do
+    Hashtbl.add dict (String.make 1 (Char.chr c)) c
+  done;
+  { dict; next_code = 256; hits = 0; misses = 0 }
+
+let restart st =
+  let fresh = fresh_state () in
+  st.dict <- fresh.dict;
+  st.next_code <- 256;
+  st.hits <- 0;
+  st.misses <- 0
+
+(* The Figure 1a heuristic: compression has stopped being profitable when
+   the dictionary is full and recent input mostly misses. *)
+let unprofitable st =
+  st.next_code >= max_dict && st.misses > st.hits
+
+let compress ~policy input =
+  let st = fresh_state () in
+  let n = String.length input in
+  let codes = ref [] and bits = ref 0 and work = ref 0 and restarts = ref 0 in
+  let segments = ref [] in
+  let seg_start = ref 0 in
+  let since_restart = ref 0 in
+  let close_segment at = segments := (!seg_start, at - !seg_start) :: !segments in
+  let emit code =
+    codes := code :: !codes;
+    bits := !bits + 12;
+    work := !work + 2
+  in
+  let i = ref 0 in
+  while !i < n do
+    (* Longest dictionary match starting at !i. *)
+    let rec longest len best =
+      if !i + len > n then best
+      else begin
+        incr work;
+        let s = String.sub input !i len in
+        match Hashtbl.find_opt st.dict s with
+        | Some code -> longest (len + 1) (Some (len, code))
+        | None -> best
+      end
+    in
+    (match longest 1 None with
+    | None -> assert false (* single chars always present *)
+    | Some (len, code) ->
+      emit code;
+      if len > 1 then st.hits <- st.hits + 1 else st.misses <- st.misses + 1;
+      if st.next_code < max_dict && !i + len < n then begin
+        Hashtbl.add st.dict (String.sub input !i (len + 1)) st.next_code;
+        st.next_code <- st.next_code + 1
+      end;
+      i := !i + len;
+      since_restart := !since_restart + len);
+    let should_restart =
+      match policy with
+      | Heuristic -> unprofitable st
+      | Fixed_interval k -> !since_restart >= k
+    in
+    if should_restart && !i < n then begin
+      restart st;
+      incr restarts;
+      close_segment !i;
+      seg_start := !i;
+      since_restart := 0
+    end
+  done;
+  close_segment n;
+  {
+    codes = List.rev !codes;
+    output_bits = !bits;
+    restarts = !restarts;
+    work = !work;
+    segments = List.rev !segments;
+  }
+
+let decompress ~codes ~restarts_at =
+  (* LZW decode with dictionary restarts at the given code indices. *)
+  let table = ref (Array.make max_dict None) in
+  let reset () =
+    let t = Array.make max_dict None in
+    for c = 0 to 255 do
+      t.(c) <- Some (String.make 1 (Char.chr c))
+    done;
+    table := t
+  in
+  reset ();
+  let next = ref 256 in
+  let buf = Buffer.create 1024 in
+  let prev = ref None in
+  List.iteri
+    (fun idx code ->
+      if List.mem idx restarts_at then begin
+        reset ();
+        next := 256;
+        prev := None
+      end;
+      let entry =
+        match !table.(code) with
+        | Some s -> s
+        | None -> (
+          match !prev with
+          | Some p -> p ^ String.make 1 p.[0]
+          | None -> invalid_arg "Dict_compress.decompress: bad code")
+      in
+      Buffer.add_string buf entry;
+      (match !prev with
+      | Some p when !next < max_dict ->
+        !table.(!next) <- Some (p ^ String.make 1 entry.[0]);
+        incr next
+      | _ -> ());
+      prev := Some entry)
+    codes;
+  Buffer.contents buf
+
+let compress_segments ~policy input =
+  let whole = compress ~policy input in
+  List.map
+    (fun (start, len) ->
+      let seg = String.sub input start len in
+      (seg, compress ~policy:(Fixed_interval max_int) seg))
+    whole.segments

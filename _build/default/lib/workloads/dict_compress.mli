@@ -1,0 +1,35 @@
+(** LZW-style dictionary compression — the paper's Figure 1 motivating
+    example for the Y-branch.
+
+    The compressor builds a string dictionary as it consumes input; a
+    heuristic restarts the dictionary when compression stops being
+    profitable.  Because only the {e heuristic} decides when to restart,
+    the programmer may mark that branch with a Y-branch, allowing the
+    compiler to restart at block boundaries of its own choosing and so
+    compress blocks in parallel. *)
+
+type restart_policy =
+  | Heuristic  (** restart when the recent hit rate drops (Figure 1a's condition) *)
+  | Fixed_interval of int  (** restart every n characters (Figure 1b / Y-branch choice) *)
+
+type result = {
+  codes : int list;
+  output_bits : int;
+  restarts : int;
+  work : int;  (** abstract work units *)
+  segments : (int * int) list;
+      (** (start offset, length) of each dictionary lifetime — under
+          [Fixed_interval] these are independently compressible blocks *)
+}
+
+val compress : policy:restart_policy -> string -> result
+
+val decompress : codes:int list -> restarts_at:int list -> string
+(** Not needed by the benchmarks; provided so tests can check the
+    round trip for [Fixed_interval] runs.  [restarts_at] lists the code
+    indices where the dictionary was restarted. *)
+
+val compress_segments : policy:restart_policy -> string -> (string * result) list
+(** Split the input at dictionary restarts and compress each segment
+    independently; under [Fixed_interval] this equals {!compress} on the
+    whole input (the property parallelization relies on). *)

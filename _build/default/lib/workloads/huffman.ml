@@ -1,0 +1,78 @@
+type tree = Leaf of int | Node of tree * tree
+
+(* Deterministic priority: (frequency, smallest symbol, insertion order). *)
+let min_symbol t =
+  let rec go = function Leaf s -> s | Node (l, r) -> min (go l) (go r) in
+  go t
+
+let build freqs =
+  let freqs = List.filter (fun (_, f) -> f > 0) freqs in
+  match freqs with
+  | [] -> None
+  | _ ->
+    let cmp (f1, t1) (f2, t2) = compare (f1, min_symbol t1) (f2, min_symbol t2) in
+    let rec merge pool =
+      match List.sort cmp pool with
+      | [] -> assert false
+      | [ (_, t) ] -> t
+      | (f1, t1) :: (f2, t2) :: rest -> merge ((f1 + f2, Node (t1, t2)) :: rest)
+    in
+    Some (merge (List.map (fun (s, f) -> (f, Leaf s)) freqs))
+
+let code_lengths tree =
+  let rec go depth = function
+    | Leaf s -> [ (s, max 1 depth) ]
+    | Node (l, r) -> go (depth + 1) l @ go (depth + 1) r
+  in
+  List.sort compare (go 0 tree)
+
+let encoded_bits lengths symbols =
+  List.fold_left
+    (fun acc s ->
+      match List.assoc_opt s lengths with
+      | Some l -> acc + l
+      | None -> raise Not_found)
+    0 symbols
+
+let is_prefix_free lengths =
+  let kraft =
+    List.fold_left (fun acc (_, l) -> acc +. (2.0 ** float_of_int (-l))) 0.0 lengths
+  in
+  kraft <= 1.0 +. 1e-9
+
+let bits_of_int value len =
+  List.init len (fun i -> value land (1 lsl (len - 1 - i)) <> 0)
+
+let canonical_codes lengths =
+  let ordered = List.sort (fun (s1, l1) (s2, l2) -> compare (l1, s1) (l2, s2)) lengths in
+  let _, _, codes =
+    List.fold_left
+      (fun (code, prev_len, acc) (sym, len) ->
+        let code = code lsl (len - prev_len) in
+        ((code + 1, len, (sym, bits_of_int code len) :: acc)))
+      (0, 0, []) ordered
+  in
+  List.sort compare codes
+
+let encode codes symbols =
+  List.concat_map
+    (fun s ->
+      match List.assoc_opt s codes with Some bits -> bits | None -> raise Not_found)
+    symbols
+
+let decode codes bitstream =
+  (* Invert the table; decode by longest-prefix walk. *)
+  let table = List.map (fun (s, bits) -> (bits, s)) codes in
+  let rec go acc pending = function
+    | [] ->
+      if pending = [] then List.rev acc
+      else invalid_arg "Huffman.decode: dangling bits"
+    | b :: rest -> (
+      let pending = pending @ [ b ] in
+      match List.assoc_opt pending table with
+      | Some sym -> go (sym :: acc) [] rest
+      | None ->
+        if List.length pending > 64 then invalid_arg "Huffman.decode: no matching code"
+        else go acc pending rest)
+  in
+  go [] [] bitstream

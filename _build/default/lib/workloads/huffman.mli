@@ -1,0 +1,35 @@
+(** Canonical Huffman coding over integer symbols — bzip2's final
+    entropy-coding stage. *)
+
+type tree = Leaf of int | Node of tree * tree
+
+val build : (int * int) list -> tree option
+(** Build a code tree from (symbol, frequency) pairs with positive
+    frequencies.  [None] on the empty alphabet.  Deterministic: ties are
+    broken by symbol order. *)
+
+val code_lengths : tree -> (int * int) list
+(** (symbol, bit length) pairs, sorted by symbol.  A single-symbol
+    alphabet gets length 1. *)
+
+val encoded_bits : (int * int) list -> int list -> int
+(** Total encoded size in bits of a symbol sequence under the given
+    code lengths.  Raises [Not_found] for a symbol without a code. *)
+
+val is_prefix_free : (int * int) list -> bool
+(** Kraft inequality check on code lengths: sum of 2^-len <= 1. *)
+
+(** {1 Canonical codes and the actual bitstream} *)
+
+val canonical_codes : (int * int) list -> (int * bool list) list
+(** Assign canonical codewords to (symbol, length) pairs: shorter codes
+    first, ties by symbol, each code the previous plus one shifted to its
+    length.  The resulting code is prefix-free whenever the lengths
+    satisfy Kraft. *)
+
+val encode : (int * bool list) list -> int list -> bool list
+(** Concatenate codewords.  Raises [Not_found] for an unknown symbol. *)
+
+val decode : (int * bool list) list -> bool list -> int list
+(** Prefix-decode a bitstream; raises [Invalid_argument] on a dangling
+    suffix that matches no codeword. *)

@@ -1,0 +1,122 @@
+type token = Literal of char | Match of { distance : int; length : int }
+
+type result = { tokens : token list; compressed_bits : int; work : int }
+
+let window_size = 32768
+
+let min_match = 3
+
+let max_match = 258
+
+let hash3 s i =
+  (Char.code s.[i] * 131 * 131) + (Char.code s.[i + 1] * 131) + Char.code s.[i + 2]
+
+let hash_buckets = 4096
+
+type level = Fast | Best
+
+(* Cost model: each hash probe costs 1, each byte compared costs 1, each
+   emitted token costs 2.  This tracks how deflate's effort scales with
+   match-finding difficulty. *)
+let compress ?(window = window_size) ?(level = Best) input =
+  let max_chain = match level with Fast -> 4 | Best -> 16 in
+  let n = String.length input in
+  let heads = Array.make hash_buckets [] in
+  let work = ref 0 in
+  let tokens = ref [] in
+  let bits = ref 0 in
+  let match_length i j =
+    (* Length of the common prefix of input[i..] and input[j..]. *)
+    let rec go k =
+      if k >= max_match || j + k >= n || input.[i + k] <> input.[j + k] then k else go (k + 1)
+    in
+    let len = go 0 in
+    work := !work + len + 1;
+    len
+  in
+  let emit tok =
+    tokens := tok :: !tokens;
+    work := !work + 2;
+    bits := !bits + (match tok with Literal _ -> 9 | Match _ -> 20)
+  in
+  (* Best (distance, length) match at position i against the current
+     dictionary, without inserting i. *)
+  let find_match i =
+    if i + min_match > n then (0, 0)
+    else begin
+      let h = hash3 input i mod hash_buckets in
+      work := !work + 1;
+      List.fold_left
+        (fun (bd, bl) j ->
+          if i - j <= window then begin
+            let l = match_length j i in
+            if l > bl then (i - j, l) else (bd, bl)
+          end
+          else (bd, bl))
+        (0, 0)
+        (List.filteri (fun k _ -> k < max_chain) heads.(h))
+    end
+  in
+  let insert i =
+    if i + min_match <= n then begin
+      let h = hash3 input i mod hash_buckets in
+      let candidates = heads.(h) in
+      heads.(h) <-
+        i
+        ::
+        (if List.length candidates > 32 then List.filteri (fun k _ -> k < 16) candidates
+         else candidates);
+      work := !work + 1
+    end
+  in
+  let pos = ref 0 in
+  while !pos < n do
+    let i = !pos in
+    let distance, length = find_match i in
+    insert i;
+    if length >= min_match then begin
+      (* Lazy matching (deflate only): when the next position matches
+         longer, emit a literal now and take the longer match there. *)
+      let take_lazy =
+        level = Best && i + 1 + min_match <= n
+        &&
+        let _, next_len = find_match (i + 1) in
+        next_len > length
+      in
+      if take_lazy then begin
+        emit (Literal input.[i]);
+        pos := i + 1
+      end
+      else begin
+        emit (Match { distance; length });
+        for k = i + 1 to min (i + length - 1) (n - min_match) do
+          insert k
+        done;
+        pos := i + length
+      end
+    end
+    else begin
+      emit (Literal input.[i]);
+      pos := i + 1
+    end
+  done;
+  { tokens = List.rev !tokens; compressed_bits = !bits; work = !work }
+
+let decompress tokens =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (function
+      | Literal c -> Buffer.add_char buf c
+      | Match { distance; length } ->
+        if distance <= 0 || distance > Buffer.length buf then
+          invalid_arg "Lz77.decompress: bad distance";
+        for _ = 1 to length do
+          let c = Buffer.nth buf (Buffer.length buf - distance) in
+          Buffer.add_char buf c
+        done)
+    tokens;
+  Buffer.contents buf
+
+let compressed_ratio ~original r =
+  let orig_bits = 8 * String.length original in
+  if orig_bits = 0 then 1.0 else float_of_int r.compressed_bits /. float_of_int orig_bits

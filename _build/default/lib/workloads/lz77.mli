@@ -1,0 +1,39 @@
+(** LZ77 compression in the style of gzip's deflate.
+
+    A hash-chain match finder over a sliding window produces a stream of
+    literal and (distance, length) tokens.  The implementation reports the
+    abstract work it performed (hash probes, match comparisons) so the
+    instrumented workloads can attribute realistic, input-dependent task
+    times without timing hardware. *)
+
+type token = Literal of char | Match of { distance : int; length : int }
+
+type result = {
+  tokens : token list;
+  compressed_bits : int;  (** rough deflate-style size estimate *)
+  work : int;  (** abstract work units spent compressing *)
+}
+
+val window_size : int
+(** 32 KiB, as in deflate. *)
+
+val min_match : int
+
+val max_match : int
+
+type level =
+  | Fast  (** deflate_fast: short hash chains, greedy emission *)
+  | Best  (** deflate: longer chains plus lazy matching *)
+
+val compress : ?window:int -> ?level:level -> string -> result
+(** Compress a block.  [window] defaults to {!window_size}, [level] to
+    [Best].  [Fast] does less match-finding work at a worse ratio —
+    164.gzip's reference run spends ~30% of its time in deflate_fast and
+    ~70% in deflate (paper Table 1). *)
+
+val decompress : token list -> string
+(** Inverse of {!compress}: expanding the token stream restores the exact
+    input (round-trip property tested by the suite). *)
+
+val compressed_ratio : original:string -> result -> float
+(** Compressed bits over uncompressed bits; < 1 when compression won. *)

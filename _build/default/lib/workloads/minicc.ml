@@ -1,0 +1,412 @@
+type quad = { q_dst : string; q_op : string; q_a : string; q_b : string }
+
+type func_unit = { fn_name : string; quads : quad list; returns : string }
+
+(* ------------------------------------------------------------------ *)
+(* Source generation                                                   *)
+
+let gen_source ~seed ~functions =
+  let rng = Simcore.Rng.create seed in
+  let buf = Buffer.create 4096 in
+  for f = 0 to functions - 1 do
+    (* Heavy-tailed function sizes: most small, a few dominating —
+       the shape that limits gcc's scaling in the paper. *)
+    let stmts =
+      let u = Simcore.Rng.float rng in
+      let pareto = 7.0 /. ((1.0 -. u) ** 0.6) in
+      max 5 (min 64 (int_of_float pareto))
+    in
+    Buffer.add_string buf (Printf.sprintf "func f%d() {\n" f);
+    let vars = ref [ "x0" ] in
+    Buffer.add_string buf "  x0 = 1;\n";
+    for s = 1 to stmts - 1 do
+      let v = Printf.sprintf "x%d" s in
+      let operand () =
+        if Simcore.Rng.chance rng 0.5 && !vars <> [] then
+          Simcore.Rng.pick rng (Array.of_list !vars)
+        else string_of_int (Simcore.Rng.int rng 100)
+      in
+      let expr =
+        match Simcore.Rng.int rng 3 with
+        | 0 -> operand ()
+        | 1 -> Printf.sprintf "%s + %s" (operand ()) (operand ())
+        | _ -> Printf.sprintf "%s * %s" (operand ()) (operand ())
+      in
+      Buffer.add_string buf (Printf.sprintf "  %s = %s;\n" v expr);
+      vars := v :: !vars
+    done;
+    Buffer.add_string buf
+      (Printf.sprintf "  return %s;\n}\n" (Simcore.Rng.pick rng (Array.of_list !vars)))
+  done;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Front end                                                           *)
+
+type token = Tfunc | Tid of string | Tnum of int | Tlb | Trb | Tlp | Trp
+           | Teq | Tplus | Tstar | Tsemi | Treturn
+
+let lex src =
+  let n = String.length src in
+  let toks = ref [] in
+  let i = ref 0 in
+  let error = ref None in
+  while !i < n && !error = None do
+    let c = src.[!i] in
+    if c = ' ' || c = '\n' || c = '\t' then incr i
+    else if c = '{' then (toks := Tlb :: !toks; incr i)
+    else if c = '}' then (toks := Trb :: !toks; incr i)
+    else if c = '(' then (toks := Tlp :: !toks; incr i)
+    else if c = ')' then (toks := Trp :: !toks; incr i)
+    else if c = '=' then (toks := Teq :: !toks; incr i)
+    else if c = '+' then (toks := Tplus :: !toks; incr i)
+    else if c = '*' then (toks := Tstar :: !toks; incr i)
+    else if c = ';' then (toks := Tsemi :: !toks; incr i)
+    else if c >= '0' && c <= '9' then begin
+      let j = ref !i in
+      while !j < n && src.[!j] >= '0' && src.[!j] <= '9' do incr j done;
+      toks := Tnum (int_of_string (String.sub src !i (!j - !i))) :: !toks;
+      i := !j
+    end
+    else if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') then begin
+      let j = ref !i in
+      while
+        !j < n
+        && ((src.[!j] >= 'a' && src.[!j] <= 'z')
+           || (src.[!j] >= 'A' && src.[!j] <= 'Z')
+           || (src.[!j] >= '0' && src.[!j] <= '9'))
+      do
+        incr j
+      done;
+      let word = String.sub src !i (!j - !i) in
+      let tok =
+        match word with "func" -> Tfunc | "return" -> Treturn | w -> Tid w
+      in
+      toks := tok :: !toks;
+      i := !j
+    end
+    else error := Some (Printf.sprintf "lex error at offset %d: %c" !i c)
+  done;
+  match !error with Some e -> Error e | None -> Ok (List.rev !toks)
+
+(* Recursive-descent parser producing quads directly; temporaries are
+   named t<k>. *)
+let parse tokens =
+  let toks = ref tokens in
+  let temp = ref 0 in
+  let quads = ref [] in
+  let next () = match !toks with [] -> None | t :: r -> toks := r; Some t in
+  let peek () = match !toks with [] -> None | t :: _ -> Some t in
+  let expect t what =
+    match next () with
+    | Some t' when t' = t -> Ok ()
+    | _ -> Error ("expected " ^ what)
+  in
+  let fresh () =
+    incr temp;
+    Printf.sprintf "t%d" !temp
+  in
+  let emit q = quads := q :: !quads in
+  (* expr := atom followed by any number of "+ atom" / "* atom" pairs;
+     left associative, no precedence (the generator never nests
+     ambiguously). *)
+  let rec parse_expr () =
+    match parse_atom () with
+    | Error _ as e -> e
+    | Ok a -> parse_rest a
+  and parse_rest a =
+    match peek () with
+    | Some Tplus ->
+      ignore (next ());
+      (match parse_atom () with
+      | Error _ as e -> e
+      | Ok b ->
+        let d = fresh () in
+        emit { q_dst = d; q_op = "+"; q_a = a; q_b = b };
+        parse_rest d)
+    | Some Tstar ->
+      ignore (next ());
+      (match parse_atom () with
+      | Error _ as e -> e
+      | Ok b ->
+        let d = fresh () in
+        emit { q_dst = d; q_op = "*"; q_a = a; q_b = b };
+        parse_rest d)
+    | _ -> Ok a
+  and parse_atom () =
+    match next () with
+    | Some (Tid v) -> Ok v
+    | Some (Tnum k) -> Ok (string_of_int k)
+    | Some Tlp -> (
+      match parse_expr () with
+      | Error _ as e -> e
+      | Ok v -> ( match expect Trp ")" with Error _ as e -> e | Ok () -> Ok v))
+    | _ -> Error "expected operand"
+  in
+  let parse_stmt () =
+    match next () with
+    | Some Treturn -> (
+      match parse_expr () with
+      | Error _ as e -> e
+      | Ok v -> (
+        match expect Tsemi ";" with Error _ as e -> e | Ok () -> Ok (`Return v)))
+    | Some (Tid v) -> (
+      match expect Teq "=" with
+      | Error _ as e -> e
+      | Ok () -> (
+        match parse_expr () with
+        | Error _ as e -> e
+        | Ok rhs -> (
+          match expect Tsemi ";" with
+          | Error _ as e -> e
+          | Ok () ->
+            let op =
+              if String.length rhs > 0 && rhs.[0] >= '0' && rhs.[0] <= '9' then "const"
+              else "copy"
+            in
+            emit { q_dst = v; q_op = op; q_a = rhs; q_b = "" };
+            Ok `Assign)))
+    | _ -> Error "expected statement"
+  in
+  let parse_func () =
+    match next () with
+    | Some Tfunc -> (
+      match next () with
+      | Some (Tid name) -> (
+        match (expect Tlp "(", expect Trp ")", expect Tlb "{") with
+        | Ok (), Ok (), Ok () -> (
+          quads := [];
+          temp := 0;
+          let rec stmts () =
+            match parse_stmt () with
+            | Error _ as e -> e
+            | Ok (`Return v) -> (
+              match expect Trb "}" with
+              | Error _ as e -> e
+              | Ok () -> Ok { fn_name = name; quads = List.rev !quads; returns = v })
+            | Ok `Assign -> stmts ()
+          in
+          stmts ())
+        | _ -> Error "bad function header")
+      | _ -> Error "expected function name")
+    | _ -> Error "expected func"
+  in
+  let rec funcs acc =
+    match peek () with
+    | None -> Ok (List.rev acc)
+    | Some _ -> (
+      match parse_func () with Error _ as e -> e | Ok f -> funcs (f :: acc))
+  in
+  funcs []
+
+let front_end src =
+  match lex src with
+  | Error e -> Error e
+  | Ok tokens -> (
+    match parse tokens with
+    | Error e -> Error e
+    | Ok funcs -> Ok (funcs, List.length tokens))
+
+(* ------------------------------------------------------------------ *)
+(* Optimization passes                                                 *)
+
+let is_const s = String.length s > 0 && s.[0] >= '0' && s.[0] <= '9'
+
+type opt_report = { pass_work : (string * int) list; total_work : int }
+
+let constant_fold quads =
+  (* Iterate to a fixpoint: fold ops whose operands are literal, turn
+     copies of literals into consts. *)
+  let work = ref 0 in
+  let known : (string, int) Hashtbl.t = Hashtbl.create 32 in
+  let fold q =
+    incr work;
+    let resolve x =
+      if is_const x then Some (int_of_string x)
+      else Hashtbl.find_opt known x
+    in
+    match q.q_op with
+    | "const" ->
+      Hashtbl.replace known q.q_dst (int_of_string q.q_a);
+      q
+    | "copy" -> (
+      match resolve q.q_a with
+      | Some v ->
+        Hashtbl.replace known q.q_dst v;
+        { q with q_op = "const"; q_a = string_of_int v }
+      | None ->
+        Hashtbl.remove known q.q_dst;
+        q)
+    | "+" | "*" -> (
+      match (resolve q.q_a, resolve q.q_b) with
+      | Some a, Some b ->
+        let v = if q.q_op = "+" then a + b else a * b in
+        Hashtbl.replace known q.q_dst v;
+        { q_dst = q.q_dst; q_op = "const"; q_a = string_of_int v; q_b = "" }
+      | _ ->
+        Hashtbl.remove known q.q_dst;
+        q)
+    | _ ->
+      Hashtbl.remove known q.q_dst;
+      q
+  in
+  (List.map fold quads, !work)
+
+let copy_propagate quads =
+  let work = ref 0 in
+  let copies : (string, string) Hashtbl.t = Hashtbl.create 32 in
+  let subst x =
+    incr work;
+    match Hashtbl.find_opt copies x with Some y -> y | None -> x
+  in
+  let step q =
+    let q = { q with q_a = subst q.q_a; q_b = (if q.q_b = "" then "" else subst q.q_b) } in
+    (* Any redefinition invalidates copies through the variable. *)
+    Hashtbl.remove copies q.q_dst;
+    Hashtbl.iter
+      (fun k v -> if v = q.q_dst then Hashtbl.remove copies k)
+      (Hashtbl.copy copies);
+    if q.q_op = "copy" && not (is_const q.q_a) then Hashtbl.replace copies q.q_dst q.q_a;
+    q
+  in
+  (List.map step quads, !work)
+
+let cse quads =
+  (* Quadratic pairwise scan, like the O(n^2) passes that dominate
+     rest_of_compilation. *)
+  let work = ref 0 in
+  let arr = Array.of_list quads in
+  let n = Array.length arr in
+  let killed = Array.make n false in
+  let redefined_between i j v =
+    let hit = ref false in
+    for k = i + 1 to j - 1 do
+      incr work;
+      if arr.(k).q_dst = v then hit := true
+    done;
+    !hit
+  in
+  for j = 0 to n - 1 do
+    let qj = arr.(j) in
+    if (qj.q_op = "+" || qj.q_op = "*") && not killed.(j) then begin
+      let i = ref 0 in
+      let found = ref None in
+      while !i < j && !found = None do
+        incr work;
+        let qi = arr.(!i) in
+        if
+          (not killed.(!i))
+          && qi.q_op = qj.q_op && qi.q_a = qj.q_a && qi.q_b = qj.q_b
+          && (not (redefined_between !i j qi.q_a))
+          && (not (redefined_between !i j qi.q_b))
+          && not (redefined_between !i j qi.q_dst)
+        then found := Some !i;
+        incr i
+      done;
+      match !found with
+      | Some i -> arr.(j) <- { qj with q_op = "copy"; q_a = arr.(i).q_dst; q_b = "" }
+      | None -> ()
+    end
+  done;
+  (Array.to_list arr, !work)
+
+let dead_code fu =
+  let work = ref 0 in
+  let live : (string, unit) Hashtbl.t = Hashtbl.create 32 in
+  Hashtbl.replace live fu.returns ();
+  let rev = List.rev fu.quads in
+  let kept =
+    List.filter_map
+      (fun q ->
+        incr work;
+        if Hashtbl.mem live q.q_dst then begin
+          Hashtbl.remove live q.q_dst;
+          if not (is_const q.q_a) && q.q_a <> "" then Hashtbl.replace live q.q_a ();
+          if not (is_const q.q_b) && q.q_b <> "" then Hashtbl.replace live q.q_b ();
+          Some q
+        end
+        else None)
+      rev
+  in
+  (List.rev kept, !work)
+
+let optimize fu =
+  let q1, w1 = constant_fold fu.quads in
+  let q2, w2 = copy_propagate q1 in
+  let q3, w3 = cse q2 in
+  let fu' = { fu with quads = q3 } in
+  let q4, w4 = dead_code fu' in
+  let report =
+    {
+      pass_work = [ ("const-fold", w1); ("copy-prop", w2); ("cse", w3); ("dce", w4) ];
+      total_work = w1 + w2 + w3 + w4;
+    }
+  in
+  ({ fu with quads = q4 }, report)
+
+(* ------------------------------------------------------------------ *)
+(* Back end                                                            *)
+
+let emit fu ~label_start =
+  let buf = Buffer.create 256 in
+  let labels = ref 0 in
+  let fresh_label () =
+    let l = label_start + !labels in
+    incr labels;
+    Printf.sprintf "L%d" l
+  in
+  Buffer.add_string buf (Printf.sprintf "%s:\n" fu.fn_name);
+  Buffer.add_string buf (Printf.sprintf "%s:\n" (fresh_label ()));
+  List.iter
+    (fun q ->
+      let line =
+        match q.q_op with
+        | "const" -> Printf.sprintf "  li %s, %s\n" q.q_dst q.q_a
+        | "copy" -> Printf.sprintf "  mv %s, %s\n" q.q_dst q.q_a
+        | op -> Printf.sprintf "  %s %s, %s, %s\n" op q.q_dst q.q_a q.q_b
+      in
+      Buffer.add_string buf line)
+    fu.quads;
+  Buffer.add_string buf (Printf.sprintf "%s:\n" (fresh_label ()));
+  Buffer.add_string buf (Printf.sprintf "  ret %s\n" fu.returns);
+  (Buffer.contents buf, !labels, 2 + List.length fu.quads)
+
+let compile ?(per_function_labels = true) src =
+  match front_end src with
+  | Error e -> Error e
+  | Ok (funcs, _) ->
+    let buf = Buffer.create 4096 in
+    let counter = ref 0 in
+    List.iter
+      (fun fu ->
+        let fu', _ = optimize fu in
+        let start = if per_function_labels then 0 else !counter in
+        let asm, used, _ = emit fu' ~label_start:start in
+        counter := !counter + used;
+        Buffer.add_string buf asm)
+      funcs;
+    Ok (Buffer.contents buf)
+
+let eval_function fu =
+  let env : (string, int) Hashtbl.t = Hashtbl.create 32 in
+  let resolve x =
+    if is_const x then Some (int_of_string x) else Hashtbl.find_opt env x
+  in
+  let ok = ref true in
+  List.iter
+    (fun q ->
+      if !ok then
+        match q.q_op with
+        | "const" -> Hashtbl.replace env q.q_dst (int_of_string q.q_a)
+        | "copy" -> (
+          match resolve q.q_a with
+          | Some v -> Hashtbl.replace env q.q_dst v
+          | None -> ok := false)
+        | "+" | "*" -> (
+          match (resolve q.q_a, resolve q.q_b) with
+          | Some a, Some b ->
+            Hashtbl.replace env q.q_dst (if q.q_op = "+" then a + b else a * b)
+          | _ -> ok := false)
+        | _ -> ok := false)
+    fu.quads;
+  if !ok then resolve fu.returns else None

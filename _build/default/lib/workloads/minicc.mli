@@ -1,0 +1,54 @@
+(** A miniature optimizing compiler — the stand-in for 176.gcc.
+
+    The pipeline mirrors the structure the paper exploits: a parse loop
+    reads one function at a time (phase A), [rest_of_compilation] runs a
+    per-function optimization sequence whose passes are quadratic in
+    function size (phase B — it dominates, and function sizes are heavy-
+    tailed), and assembly printing (phase C) consumes fresh labels from a
+    global counter — the [label_num] dependence the paper breaks by
+    making labels (function, number) pairs.
+
+    Source language: [func name() { var = expr; ... return expr; }] with
+    integer variables, [+], [*], and parenthesised subexpressions. *)
+
+type quad = {
+  q_dst : string;
+  q_op : string;  (** "const", "copy", "+", "*" *)
+  q_a : string;  (** operand: variable name or integer literal *)
+  q_b : string;  (** second operand; "" when unused *)
+}
+
+type func_unit = {
+  fn_name : string;
+  quads : quad list;
+  returns : string;  (** variable holding the return value *)
+}
+
+val gen_source : seed:int -> functions:int -> string
+(** Deterministic synthetic program text.  Function sizes follow a
+    heavy-tailed distribution, as real translation units do. *)
+
+val front_end : string -> (func_unit list * int, string) result
+(** Lex + parse.  Returns the units and the work spent (token count). *)
+
+type opt_report = { pass_work : (string * int) list; total_work : int }
+
+val optimize : func_unit -> func_unit * opt_report
+(** Constant folding, copy propagation, common-subexpression elimination
+    (quadratic), dead-code elimination — run as a sequence, like
+    [rest_of_compilation]. *)
+
+val emit : func_unit -> label_start:int -> string * int * int
+(** [emit fu ~label_start] returns (assembly text, labels consumed,
+    work).  Labels are numbered from [label_start] — the global
+    [label_num] protocol; passing 0 per function models the paper's
+    per-function labels change. *)
+
+val compile : ?per_function_labels:bool -> string -> (string, string) result
+(** Whole pipeline, for tests: parse, optimize and emit every function.
+    With [per_function_labels] (default true) label numbering restarts
+    per function, so output is independent of compilation order. *)
+
+val eval_function : func_unit -> int option
+(** Interpret the quads; [None] if a variable is used before being
+    defined.  Optimization must preserve this value (tested). *)

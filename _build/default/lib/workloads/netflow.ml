@@ -1,0 +1,195 @@
+type arc = { a_src : int; a_dst : int; a_cost : int; a_cap : int }
+
+type t = { n : int; source : int; sink : int; arc_array : arc array }
+
+let make ~nodes ~source ~sink ~arcs =
+  List.iter
+    (fun a ->
+      if a.a_src < 0 || a.a_src >= nodes || a.a_dst < 0 || a.a_dst >= nodes then
+        invalid_arg "Netflow.make: arc endpoint out of range";
+      if a.a_cap < 0 then invalid_arg "Netflow.make: negative capacity")
+    arcs;
+  { n = nodes; source; sink; arc_array = Array.of_list arcs }
+
+let generate ~seed ~sources ~sinks ~transit =
+  let rng = Simcore.Rng.create seed in
+  let n = 2 + sources + transit + sinks in
+  let source = 0 and sink = n - 1 in
+  let depot i = 1 + i in
+  let mid i = 1 + sources + i in
+  let demand i = 1 + sources + transit + i in
+  let arcs = ref [] in
+  let add a_src a_dst a_cost a_cap = arcs := { a_src; a_dst; a_cost; a_cap } :: !arcs in
+  for i = 0 to sources - 1 do
+    add source (depot i) 0 (10 + Simcore.Rng.int rng 20)
+  done;
+  for i = 0 to sources - 1 do
+    for j = 0 to transit - 1 do
+      if Simcore.Rng.chance rng 0.6 then
+        add (depot i) (mid j) (1 + Simcore.Rng.int rng 30) (5 + Simcore.Rng.int rng 15)
+    done
+  done;
+  for j = 0 to transit - 1 do
+    for k = 0 to sinks - 1 do
+      if Simcore.Rng.chance rng 0.6 then
+        add (mid j) (demand k) (1 + Simcore.Rng.int rng 30) (5 + Simcore.Rng.int rng 15)
+    done
+  done;
+  (* A few transit-to-transit shortcuts make paths interesting. *)
+  for j = 0 to transit - 1 do
+    for j' = 0 to transit - 1 do
+      if j <> j' && Simcore.Rng.chance rng 0.15 then
+        add (mid j) (mid j') (1 + Simcore.Rng.int rng 10) (3 + Simcore.Rng.int rng 10)
+    done
+  done;
+  for k = 0 to sinks - 1 do
+    add (demand k) sink 0 (10 + Simcore.Rng.int rng 20)
+  done;
+  make ~nodes:n ~source ~sink ~arcs:(List.rev !arcs)
+
+let node_count t = t.n
+
+let arc_count t = Array.length t.arc_array
+
+let arcs t = t.arc_array
+
+type pass_stat = { scanned : int; improved : int }
+
+type augmentation = { passes : pass_stat list; path_arcs : int; amount : int }
+
+type solution = {
+  total_cost : int;
+  total_flow : int;
+  flows : int array;
+  augmentations : augmentation list;
+}
+
+let infinity_dist = max_int / 4
+
+(* One Bellman-Ford shortest-path computation over the residual network.
+   Returns (dist, pred) where pred.(v) = (arc index, forward?) and the
+   per-pass statistics. *)
+let bellman_ford t flows =
+  let dist = Array.make t.n infinity_dist in
+  let pred = Array.make t.n None in
+  dist.(t.source) <- 0;
+  let passes = ref [] in
+  let changed = ref true in
+  let pass_count = ref 0 in
+  while !changed && !pass_count <= t.n do
+    changed := false;
+    incr pass_count;
+    let scanned = ref 0 and improved = ref 0 in
+    Array.iteri
+      (fun i a ->
+        incr scanned;
+        (* Forward residual arc. *)
+        if flows.(i) < a.a_cap && dist.(a.a_src) < infinity_dist then begin
+          let d = dist.(a.a_src) + a.a_cost in
+          if d < dist.(a.a_dst) then begin
+            dist.(a.a_dst) <- d;
+            pred.(a.a_dst) <- Some (i, true);
+            changed := true;
+            incr improved
+          end
+        end;
+        (* Backward residual arc. *)
+        if flows.(i) > 0 && dist.(a.a_dst) < infinity_dist then begin
+          let d = dist.(a.a_dst) - a.a_cost in
+          if d < dist.(a.a_src) then begin
+            dist.(a.a_src) <- d;
+            pred.(a.a_src) <- Some (i, false);
+            changed := true;
+            incr improved
+          end
+        end)
+      t.arc_array;
+    passes := { scanned = !scanned; improved = !improved } :: !passes
+  done;
+  (dist, pred, List.rev !passes)
+
+let solve t =
+  let flows = Array.make (Array.length t.arc_array) 0 in
+  let augmentations = ref [] in
+  let finished = ref false in
+  while not !finished do
+    let dist, pred, passes = bellman_ford t flows in
+    if dist.(t.sink) >= infinity_dist then finished := true
+    else begin
+      (* Trace the path back and find the bottleneck. *)
+      let rec collect v acc =
+        if v = t.source then acc
+        else
+          match pred.(v) with
+          | None -> acc
+          | Some (i, forward) ->
+            let a = t.arc_array.(i) in
+            let prev = if forward then a.a_src else a.a_dst in
+            collect prev ((i, forward) :: acc)
+      in
+      let path = collect t.sink [] in
+      let bottleneck =
+        List.fold_left
+          (fun acc (i, forward) ->
+            let a = t.arc_array.(i) in
+            let avail = if forward then a.a_cap - flows.(i) else flows.(i) in
+            min acc avail)
+          max_int path
+      in
+      List.iter
+        (fun (i, forward) ->
+          flows.(i) <- (if forward then flows.(i) + bottleneck else flows.(i) - bottleneck))
+        path;
+      augmentations :=
+        { passes; path_arcs = List.length path; amount = bottleneck } :: !augmentations
+    end
+  done;
+  let total_cost =
+    Array.to_list t.arc_array
+    |> List.mapi (fun i a -> flows.(i) * a.a_cost)
+    |> List.fold_left ( + ) 0
+  in
+  let total_flow =
+    Array.to_list t.arc_array
+    |> List.mapi (fun i a -> if a.a_src = t.source then flows.(i) else 0)
+    |> List.fold_left ( + ) 0
+  in
+  { total_cost; total_flow; flows; augmentations = List.rev !augmentations }
+
+let is_feasible t sol =
+  let ok_caps =
+    Array.for_all Fun.id
+      (Array.mapi (fun i a -> sol.flows.(i) >= 0 && sol.flows.(i) <= a.a_cap) t.arc_array)
+  in
+  let balance = Array.make t.n 0 in
+  Array.iteri
+    (fun i a ->
+      balance.(a.a_src) <- balance.(a.a_src) - sol.flows.(i);
+      balance.(a.a_dst) <- balance.(a.a_dst) + sol.flows.(i))
+    t.arc_array;
+  let ok_conservation =
+    Array.for_all Fun.id
+      (Array.init t.n (fun v -> v = t.source || v = t.sink || balance.(v) = 0))
+  in
+  ok_caps && ok_conservation
+
+let is_optimal t sol =
+  (* Bellman-Ford negative-cycle detection on the residual network. *)
+  let dist = Array.make t.n 0 in
+  let changed_in_extra_pass = ref false in
+  for pass = 1 to t.n do
+    let changed = ref false in
+    Array.iteri
+      (fun i a ->
+        if sol.flows.(i) < a.a_cap && dist.(a.a_src) + a.a_cost < dist.(a.a_dst) then begin
+          dist.(a.a_dst) <- dist.(a.a_src) + a.a_cost;
+          changed := true
+        end;
+        if sol.flows.(i) > 0 && dist.(a.a_dst) - a.a_cost < dist.(a.a_src) then begin
+          dist.(a.a_src) <- dist.(a.a_dst) - a.a_cost;
+          changed := true
+        end)
+      t.arc_array;
+    if pass = t.n then changed_in_extra_pass := !changed
+  done;
+  not !changed_in_extra_pass

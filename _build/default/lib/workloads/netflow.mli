@@ -1,0 +1,52 @@
+(** Minimum-cost flow on a transportation network — the stand-in for
+    181.mcf's network-simplex solver.
+
+    181.mcf solves single-depot vehicle scheduling as min-cost flow; its
+    runtime splits between the simplex pivots ([primal_net_simplex],
+    65-75%) and arc pricing ([price_out_impl], 25-35%).  We solve the same
+    problem with successive shortest paths (Bellman-Ford over the residual
+    network), which exposes the same two loop families: relaxation sweeps
+    over arcs, and pricing sweeps computing reduced costs.  The solver
+    records per-augmentation statistics so the instrumented driver can
+    replay the loop structure as tasks.  DESIGN.md documents this
+    substitution. *)
+
+type arc = { a_src : int; a_dst : int; a_cost : int; a_cap : int }
+
+type t
+
+val make : nodes:int -> source:int -> sink:int -> arcs:arc list -> t
+
+val generate : seed:int -> sources:int -> sinks:int -> transit:int -> t
+(** A layered transportation network: a super source feeding [sources]
+    depots, [transit] intermediate nodes, [sinks] demand nodes draining
+    into a super sink; random costs and capacities. *)
+
+val node_count : t -> int
+
+val arc_count : t -> int
+
+val arcs : t -> arc array
+
+type pass_stat = { scanned : int; improved : int }
+
+type augmentation = {
+  passes : pass_stat list;  (** Bellman-Ford sweeps for this augmentation *)
+  path_arcs : int;  (** length of the augmenting path *)
+  amount : int;  (** flow pushed *)
+}
+
+type solution = {
+  total_cost : int;
+  total_flow : int;
+  flows : int array;  (** per-arc flow *)
+  augmentations : augmentation list;
+}
+
+val solve : t -> solution
+
+val is_feasible : t -> solution -> bool
+(** Capacity and conservation constraints hold. *)
+
+val is_optimal : t -> solution -> bool
+(** No negative-cost cycle exists in the residual network. *)

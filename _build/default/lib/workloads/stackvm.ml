@@ -1,0 +1,231 @@
+type instr =
+  | Push of int
+  | Load_global of int
+  | Store_global of int
+  | Add
+  | Sub
+  | Mul
+  | Dup
+  | Pop
+  | Alloc of int
+  | Set_field of int
+  | Get_field of int
+  | Print
+
+type stmt = instr list
+
+type program = stmt list
+
+(* Globals hold either plain ints or heap handles; we do not distinguish
+   (handles are ints), but the collector treats every global and stack
+   slot as a potential root, conservatively. *)
+type state = {
+  globals : int array;
+  mutable stack : int list;
+  heap : (int, int array) Hashtbl.t;
+  mutable next_handle : int;
+  heap_limit : int;
+  mutable printed_rev : int list;
+}
+
+(* Handles live far above any value ordinary programs compute, so the
+   conservative root scan cannot mistake data for references. *)
+let handle_base = 1 lsl 40
+
+let create_state ~globals ~heap_limit =
+  {
+    globals = Array.make globals 0;
+    stack = [];
+    heap = Hashtbl.create 64;
+    next_handle = handle_base;
+    heap_limit;
+    printed_rev = [];
+  }
+
+type gc_report = { moved : int list; collected : int }
+
+type report = {
+  work : int;
+  globals_read : int list;
+  globals_written : int list;
+  objects_touched : int list;
+  allocated : int list;
+  gc : gc_report option;
+  printed : int list;
+  stack_depth_end : int;
+}
+
+(* Copying collection: every object reachable from a root (conservatively,
+   any global or stack value that is a valid handle) survives under a
+   fresh handle; roots are rewritten.  Field values that were handles are
+   rewritten too. *)
+let collect st =
+  let forwarding = Hashtbl.create 32 in
+  let new_heap = Hashtbl.create 32 in
+  let next = ref st.next_handle in
+  let rec evacuate h =
+    match Hashtbl.find_opt forwarding h with
+    | Some h' -> h'
+    | None -> (
+      match Hashtbl.find_opt st.heap h with
+      | None -> h (* not a handle: a plain integer root *)
+      | Some fields ->
+        let h' = !next in
+        incr next;
+        Hashtbl.add forwarding h h';
+        (* Reserve the slot before scanning fields (cycles). *)
+        let copy = Array.copy fields in
+        Hashtbl.add new_heap h' copy;
+        Array.iteri (fun i v -> copy.(i) <- evacuate v) copy;
+        h')
+  in
+  Array.iteri (fun i v -> st.globals.(i) <- evacuate v) st.globals;
+  st.stack <- List.map evacuate st.stack;
+  let moved = Hashtbl.fold (fun old _ acc -> old :: acc) forwarding [] in
+  let collected = Hashtbl.length st.heap - List.length moved in
+  Hashtbl.reset st.heap;
+  Hashtbl.iter (fun h fields -> Hashtbl.add st.heap h fields) new_heap;
+  st.next_handle <- !next;
+  { moved = List.sort compare moved; collected }
+
+let exec_stmt st stmt =
+  let work = ref 0 in
+  let greads = ref [] and gwrites = ref [] in
+  let touched = ref [] and allocated = ref [] in
+  let printed = ref [] in
+  let gc = ref None in
+  let push v = st.stack <- v :: st.stack in
+  let pop () =
+    match st.stack with
+    | [] -> invalid_arg "Stackvm.exec_stmt: stack underflow"
+    | v :: rest ->
+      st.stack <- rest;
+      v
+  in
+  let object_of h =
+    match Hashtbl.find_opt st.heap h with
+    | Some o -> o
+    | None -> invalid_arg "Stackvm.exec_stmt: dangling handle"
+  in
+  let step = function
+    | Push v ->
+      work := !work + 1;
+      push v
+    | Load_global g ->
+      work := !work + 2;
+      greads := g :: !greads;
+      push st.globals.(g)
+    | Store_global g ->
+      work := !work + 2;
+      gwrites := g :: !gwrites;
+      st.globals.(g) <- pop ()
+    | Add ->
+      work := !work + 1;
+      let b = pop () and a = pop () in
+      push (a + b)
+    | Sub ->
+      work := !work + 1;
+      let b = pop () and a = pop () in
+      push (a - b)
+    | Mul ->
+      work := !work + 2;
+      let b = pop () and a = pop () in
+      push (a * b)
+    | Dup ->
+      work := !work + 1;
+      let a = pop () in
+      push a;
+      push a
+    | Pop ->
+      work := !work + 1;
+      ignore (pop ())
+    | Alloc n ->
+      work := !work + 3 + n;
+      if Hashtbl.length st.heap >= st.heap_limit then begin
+        let r = collect st in
+        work := !work + (4 * List.length r.moved);
+        gc := Some r
+      end;
+      let h = st.next_handle in
+      st.next_handle <- h + 1;
+      Hashtbl.add st.heap h (Array.make n 0);
+      allocated := h :: !allocated;
+      push h
+    | Set_field i ->
+      work := !work + 2;
+      let v = pop () in
+      let h = pop () in
+      let o = object_of h in
+      if i >= Array.length o then invalid_arg "Stackvm.exec_stmt: field out of range";
+      o.(i) <- v;
+      touched := h :: !touched
+    | Get_field i ->
+      work := !work + 2;
+      let h = pop () in
+      let o = object_of h in
+      if i >= Array.length o then invalid_arg "Stackvm.exec_stmt: field out of range";
+      push o.(i);
+      touched := h :: !touched
+    | Print ->
+      work := !work + 2;
+      let v = pop () in
+      st.printed_rev <- v :: st.printed_rev;
+      printed := v :: !printed
+  in
+  List.iter step stmt;
+  {
+    work = !work;
+    globals_read = List.sort_uniq compare !greads;
+    globals_written = List.sort_uniq compare !gwrites;
+    objects_touched = List.sort_uniq compare !touched;
+    allocated = List.rev !allocated;
+    gc = !gc;
+    printed = List.rev !printed;
+    stack_depth_end = List.length st.stack;
+  }
+
+let output st = List.rev st.printed_rev
+
+let live_objects st = Hashtbl.length st.heap
+
+let live_handles st =
+  Hashtbl.fold (fun h _ acc -> h :: acc) st.heap [] |> List.sort compare
+
+let gen_program ~seed ~stmts ~globals ~chain ~alloc_rate =
+  let rng = Simcore.Rng.create seed in
+  let last_written = ref (-1) in
+  let gen_stmt () =
+    let src =
+      if !last_written >= 0 && Simcore.Rng.chance rng chain then !last_written
+      else Simcore.Rng.int rng globals
+    in
+    let dst = Simcore.Rng.int rng globals in
+    let body =
+      if Simcore.Rng.chance rng alloc_rate then
+        (* Allocate, initialize a field from a global, publish the handle. *)
+        [
+          Load_global src;
+          Alloc (1 + Simcore.Rng.int rng 4);
+          Dup;
+          Push (Simcore.Rng.int rng 100);
+          Set_field 0;
+          Store_global dst;
+          Pop;
+        ]
+      else
+        let compute =
+          match Simcore.Rng.int rng 3 with
+          | 0 -> [ Push (Simcore.Rng.int rng 100); Add ]
+          | 1 -> [ Push (1 + Simcore.Rng.int rng 9); Mul ]
+          | _ -> [ Push (Simcore.Rng.int rng 100); Sub ]
+        in
+        let sink =
+          if Simcore.Rng.chance rng 0.2 then [ Dup; Print; Store_global dst ]
+          else [ Store_global dst ]
+        in
+        (Load_global src :: compute) @ sink
+    in
+    last_written := dst;
+    body
+  in
+  List.init stmts (fun _ -> gen_stmt ())

@@ -1,0 +1,66 @@
+(** A stack-machine interpreter with globals and a copying collector —
+    the stand-in for the 253.perlbmk and 254.gap interpreter loops.
+
+    Programs are sequences of {e statements} (the paper's NEXTSTATE-
+    delimited operation runs); each statement manipulates an operand
+    stack, reads and writes global variables, and may allocate heap
+    objects.  A semispace-style copying collector runs when the heap
+    exceeds its limit and {e moves every live object} (fresh handles),
+    which is exactly why 254.gap's GC causes alias misspeculation on
+    everything.  Per-statement reports expose the read/write footprint so
+    drivers can reproduce the dependence structure. *)
+
+type instr =
+  | Push of int
+  | Load_global of int
+  | Store_global of int
+  | Add
+  | Sub
+  | Mul
+  | Dup
+  | Pop
+  | Alloc of int  (** allocate an object with n fields; pushes its handle *)
+  | Set_field of int  (** pops value then handle; writes the field *)
+  | Get_field of int  (** pops handle; pushes the field value *)
+  | Print  (** pops and appends to the output stream *)
+
+type stmt = instr list
+
+type program = stmt list
+
+type state
+
+val create_state : globals:int -> heap_limit:int -> state
+(** [heap_limit] is the live-object count that triggers collection. *)
+
+type gc_report = { moved : int list; collected : int }
+(** [moved] lists the pre-move handles of surviving objects. *)
+
+type report = {
+  work : int;
+  globals_read : int list;
+  globals_written : int list;
+  objects_touched : int list;  (** handles read or written *)
+  allocated : int list;  (** handles created by this statement *)
+  gc : gc_report option;
+  printed : int list;
+  stack_depth_end : int;
+}
+
+val exec_stmt : state -> stmt -> report
+(** Raises [Invalid_argument] on stack underflow or a dangling handle. *)
+
+val output : state -> int list
+(** Everything printed so far, in order. *)
+
+val live_objects : state -> int
+
+val live_handles : state -> int list
+(** Handles of currently live objects, ascending. *)
+
+val gen_program :
+  seed:int -> stmts:int -> globals:int -> chain:float -> alloc_rate:float -> program
+(** Random program: with probability [chain] a statement reads a global
+    written by the previous statement (a true inter-statement dependence);
+    with probability [alloc_rate] it allocates.  Statements leave the
+    stack empty. *)

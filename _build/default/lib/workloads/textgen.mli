@@ -1,0 +1,18 @@
+(** Deterministic synthetic text, standing in for the reference inputs of
+    the compression and parsing benchmarks (we cannot ship SPEC's inputs).
+    The generator produces word-like English text with enough repetition
+    to be compressible and enough variety to exercise match finding. *)
+
+val words : string array
+(** The base vocabulary. *)
+
+val sentence : Simcore.Rng.t -> min_words:int -> max_words:int -> string
+(** One sentence: capitalized, space-separated words, terminated by a
+    period. *)
+
+val text : Simcore.Rng.t -> bytes:int -> string
+(** At least [bytes] bytes of sentences separated by spaces. *)
+
+val repetitive_text : Simcore.Rng.t -> bytes:int -> redundancy:float -> string
+(** Text where with probability [redundancy] the next sentence repeats a
+    previously emitted one — tunable compressibility. *)

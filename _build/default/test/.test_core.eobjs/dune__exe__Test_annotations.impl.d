@@ -1,0 +1,1 @@
+test/test_annotations.ml: Alcotest Annotations List Result Simcore Workloads

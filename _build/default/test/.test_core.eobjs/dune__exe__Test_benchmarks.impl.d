@@ -1,0 +1,1 @@
+test/test_benchmarks.ml: Alcotest Annotations Array Benchmarks Core Ir List Printf Profiling Sim Speculation String

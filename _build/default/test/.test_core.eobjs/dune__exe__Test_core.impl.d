@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Benchmarks Buffer Core Format Ir List Machine Profiling Sim Speculation String

@@ -1,0 +1,1 @@
+test/test_dswp.ml: Alcotest Dswp Ir List Machine QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Fun Ir List QCheck2 QCheck_alcotest Result

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Hashtbl List Machine QCheck2 QCheck_alcotest

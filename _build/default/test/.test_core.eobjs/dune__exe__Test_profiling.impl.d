@@ -1,0 +1,1 @@
+test/test_profiling.ml: Alcotest Array Hashtbl Ir List Machine Printf Profiling QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Hashtbl Ir List Machine Option QCheck2 QCheck_alcotest Sim Simcore String Workloads

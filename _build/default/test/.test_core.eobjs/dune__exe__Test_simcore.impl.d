@@ -1,0 +1,1 @@
+test/test_simcore.ml: Alcotest Array Fun List QCheck2 QCheck_alcotest Simcore

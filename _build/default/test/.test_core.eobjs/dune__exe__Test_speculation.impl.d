@@ -1,0 +1,1 @@
+test/test_speculation.ml: Alcotest Annotations Ir List Profiling QCheck2 QCheck_alcotest Speculation

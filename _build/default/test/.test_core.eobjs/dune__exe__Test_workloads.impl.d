@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Buffer Char Int List Map Option Printf QCheck2 QCheck_alcotest Result Simcore String Workloads

@@ -1,0 +1,332 @@
+(* Tests for tasks, dependences, traces, and PDGs. *)
+
+let mk_task id iteration phase work =
+  Ir.Task.make ~id ~iteration ~phase ~work ()
+
+(* ------------------------------------------------------------------ *)
+(* Task                                                                *)
+
+let task_phase_order () =
+  Alcotest.(check bool) "A < B" true (Ir.Task.compare_phase Ir.Task.A Ir.Task.B < 0);
+  Alcotest.(check bool) "B < C" true (Ir.Task.compare_phase Ir.Task.B Ir.Task.C < 0);
+  Alcotest.(check int) "A = A" 0 (Ir.Task.compare_phase Ir.Task.A Ir.Task.A)
+
+let task_rejects_negative () =
+  Alcotest.check_raises "negative work" (Invalid_argument "Task.make: negative work")
+    (fun () -> ignore (Ir.Task.make ~id:0 ~iteration:0 ~phase:Ir.Task.A ~work:(-1) ()))
+
+let task_total_work () =
+  let tasks = [| mk_task 0 0 Ir.Task.A 5; mk_task 1 0 Ir.Task.B 7 |] in
+  Alcotest.(check int) "total" 12 (Ir.Task.total_work tasks)
+
+(* ------------------------------------------------------------------ *)
+(* Dep                                                                 *)
+
+let dep_rejects_self_edge () =
+  Alcotest.check_raises "self edge" (Invalid_argument "Dep.make: self edge") (fun () ->
+      ignore (Ir.Dep.make ~src:3 ~dst:3 ~kind:Ir.Dep.Memory ()))
+
+let dep_kind_strings () =
+  Alcotest.(check string) "mem" "mem" (Ir.Dep.kind_to_string Ir.Dep.Memory);
+  Alcotest.(check string) "reg" "reg" (Ir.Dep.kind_to_string Ir.Dep.Register);
+  Alcotest.(check string) "ctl" "ctl" (Ir.Dep.kind_to_string Ir.Dep.Control)
+
+(* ------------------------------------------------------------------ *)
+(* Trace                                                               *)
+
+let simple_loop () =
+  {
+    Ir.Trace.loop_name = "l";
+    tasks =
+      [|
+        mk_task 0 0 Ir.Task.A 1; mk_task 1 0 Ir.Task.B 10; mk_task 2 0 Ir.Task.C 1;
+        mk_task 3 1 Ir.Task.A 1; mk_task 4 1 Ir.Task.B 10; mk_task 5 1 Ir.Task.C 1;
+      |];
+    explicit_deps = [];
+  }
+
+let trace_total_work () =
+  let t =
+    { Ir.Trace.name = "t"; segments = [ Ir.Trace.Serial 5; Ir.Trace.Loop (simple_loop ()) ] }
+  in
+  Alcotest.(check int) "total" 29 (Ir.Trace.total_work t);
+  Alcotest.(check int) "serial" 5 (Ir.Trace.serial_work t);
+  Alcotest.(check int) "iterations" 2 (Ir.Trace.loop_iterations (simple_loop ()))
+
+let trace_validate_ok () =
+  let t = { Ir.Trace.name = "t"; segments = [ Ir.Trace.Loop (simple_loop ()) ] } in
+  Alcotest.(check bool) "valid" true (Ir.Trace.validate t = Ok ())
+
+let trace_validate_bad_id () =
+  let bad =
+    { (simple_loop ()) with Ir.Trace.tasks = [| mk_task 7 0 Ir.Task.A 1 |] }
+  in
+  let t = { Ir.Trace.name = "t"; segments = [ Ir.Trace.Loop bad ] } in
+  Alcotest.(check bool) "invalid" true (Result.is_error (Ir.Trace.validate t))
+
+let trace_validate_backward_dep () =
+  let bad =
+    {
+      (simple_loop ()) with
+      Ir.Trace.explicit_deps = [ Ir.Dep.make ~src:4 ~dst:0 ~kind:Ir.Dep.Register () ];
+    }
+  in
+  let t = { Ir.Trace.name = "t"; segments = [ Ir.Trace.Loop bad ] } in
+  Alcotest.(check bool) "backward dep rejected" true (Result.is_error (Ir.Trace.validate t))
+
+let trace_find_loop () =
+  let t = { Ir.Trace.name = "t"; segments = [ Ir.Trace.Loop (simple_loop ()) ] } in
+  Alcotest.(check string) "found" "l" (Ir.Trace.find_loop t "l").Ir.Trace.loop_name;
+  Alcotest.check_raises "missing" Not_found (fun () -> ignore (Ir.Trace.find_loop t "x"))
+
+(* ------------------------------------------------------------------ *)
+(* Pdg                                                                 *)
+
+let pdg_chain () =
+  let g = Ir.Pdg.create "chain" in
+  let a = Ir.Pdg.add_node g ~label:"a" ~weight:0.3 () in
+  let b = Ir.Pdg.add_node g ~label:"b" ~weight:0.4 () in
+  let c = Ir.Pdg.add_node g ~label:"c" ~weight:0.3 () in
+  Ir.Pdg.add_edge g ~src:a ~dst:b ~kind:Ir.Dep.Register ();
+  Ir.Pdg.add_edge g ~src:b ~dst:c ~kind:Ir.Dep.Register ();
+  let comps = Ir.Pdg.sccs g () in
+  Alcotest.(check int) "three components" 3 (List.length comps);
+  Alcotest.(check (list (list int))) "topological order" [ [ a ]; [ b ]; [ c ] ] comps
+
+let pdg_cycle () =
+  let g = Ir.Pdg.create "cycle" in
+  let a = Ir.Pdg.add_node g ~label:"a" ~weight:0.5 () in
+  let b = Ir.Pdg.add_node g ~label:"b" ~weight:0.5 () in
+  Ir.Pdg.add_edge g ~src:a ~dst:b ~kind:Ir.Dep.Register ();
+  Ir.Pdg.add_edge g ~src:b ~dst:a ~kind:Ir.Dep.Register ~loop_carried:true ();
+  let comps = Ir.Pdg.sccs g () in
+  Alcotest.(check int) "one component" 1 (List.length comps);
+  Alcotest.(check (list int)) "both nodes" [ a; b ] (List.sort compare (List.hd comps))
+
+let pdg_consider_filter () =
+  let g = Ir.Pdg.create "filtered" in
+  let a = Ir.Pdg.add_node g ~label:"a" ~weight:0.5 () in
+  let b = Ir.Pdg.add_node g ~label:"b" ~weight:0.5 () in
+  Ir.Pdg.add_edge g ~src:a ~dst:b ~kind:Ir.Dep.Register ();
+  Ir.Pdg.add_edge g ~src:b ~dst:a ~kind:Ir.Dep.Memory ~breaker:Ir.Pdg.Alias_speculation ();
+  (* With every edge: one SCC.  Ignoring breakable edges: two. *)
+  Alcotest.(check int) "cycle with all edges" 1 (List.length (Ir.Pdg.sccs g ()));
+  let comps =
+    Ir.Pdg.sccs g ~consider:(fun e -> e.Ir.Pdg.breaker = None) ()
+  in
+  Alcotest.(check int) "broken cycle" 2 (List.length comps)
+
+let pdg_successors () =
+  let g = Ir.Pdg.create "succ" in
+  let a = Ir.Pdg.add_node g ~label:"a" ~weight:1.0 () in
+  let b = Ir.Pdg.add_node g ~label:"b" ~weight:1.0 () in
+  let c = Ir.Pdg.add_node g ~label:"c" ~weight:1.0 () in
+  Ir.Pdg.add_edge g ~src:a ~dst:b ~kind:Ir.Dep.Register ();
+  Ir.Pdg.add_edge g ~src:a ~dst:c ~kind:Ir.Dep.Register ();
+  Ir.Pdg.add_edge g ~src:a ~dst:b ~kind:Ir.Dep.Memory ();
+  Alcotest.(check (list int)) "distinct successors" [ b; c ] (Ir.Pdg.successors g a)
+
+let pdg_weight () =
+  let g = Ir.Pdg.create "w" in
+  ignore (Ir.Pdg.add_node g ~label:"a" ~weight:0.25 ());
+  ignore (Ir.Pdg.add_node g ~label:"b" ~weight:0.75 ());
+  Alcotest.(check (float 1e-9)) "total" 1.0 (Ir.Pdg.total_weight g)
+
+let pdg_bad_edge () =
+  let g = Ir.Pdg.create "bad" in
+  let a = Ir.Pdg.add_node g ~label:"a" ~weight:1.0 () in
+  Alcotest.check_raises "unknown node" (Invalid_argument "Pdg.add_edge: unknown node")
+    (fun () -> Ir.Pdg.add_edge g ~src:a ~dst:99 ~kind:Ir.Dep.Register ())
+
+(* Property: SCC components partition the node set. *)
+let pdg_scc_partition =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:100 ~name:"sccs partition the nodes"
+       QCheck2.Gen.(pair (int_range 1 15) (list (pair (int_bound 14) (int_bound 14))))
+       (fun (n, edges) ->
+         let g = Ir.Pdg.create "random" in
+         for i = 0 to n - 1 do
+           ignore (Ir.Pdg.add_node g ~label:(string_of_int i) ~weight:1.0 ())
+         done;
+         List.iter
+           (fun (s, d) ->
+             if s < n && d < n && s <> d then
+               Ir.Pdg.add_edge g ~src:s ~dst:d ~kind:Ir.Dep.Register ())
+           edges;
+         let comps = Ir.Pdg.sccs g () in
+         let all = List.concat comps |> List.sort compare in
+         all = List.init n Fun.id))
+
+(* ------------------------------------------------------------------ *)
+(* Region formation                                                    *)
+
+let region_pdg () =
+  let g = Ir.Pdg.create "regions" in
+  let ids = List.init 6 (fun i -> Ir.Pdg.add_node g ~label:(string_of_int i) ~weight:0.2 ()) in
+  let rec link = function
+    | a :: (b :: _ as rest) ->
+      Ir.Pdg.add_edge g ~src:a ~dst:b ~kind:Ir.Dep.Register ();
+      link rest
+    | _ -> ()
+  in
+  link ids;
+  g
+
+let region_respects_budget () =
+  let g = region_pdg () in
+  let regions = Ir.Region.form g ~max_weight:0.5 in
+  Alcotest.(check bool) "valid partition" true (Ir.Region.validate g regions = Ok ());
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "within budget" true (Ir.Region.weight g r <= 0.5 +. 1e-9))
+    regions;
+  Alcotest.(check int) "three regions of two" 3 (Ir.Region.count regions)
+
+let region_whole_graph_budget () =
+  let g = region_pdg () in
+  let regions = Ir.Region.form g ~max_weight:10.0 in
+  Alcotest.(check int) "one region" 1 (Ir.Region.count regions)
+
+let region_oversized_scc () =
+  (* A cyclic SCC heavier than the budget still forms one region. *)
+  let g = Ir.Pdg.create "big-scc" in
+  let a = Ir.Pdg.add_node g ~label:"a" ~weight:0.6 () in
+  let b = Ir.Pdg.add_node g ~label:"b" ~weight:0.6 () in
+  Ir.Pdg.add_edge g ~src:a ~dst:b ~kind:Ir.Dep.Register ();
+  Ir.Pdg.add_edge g ~src:b ~dst:a ~kind:Ir.Dep.Register ();
+  let regions = Ir.Region.form g ~max_weight:0.5 in
+  Alcotest.(check int) "one region" 1 (Ir.Region.count regions);
+  Alcotest.(check bool) "still valid" true (Ir.Region.validate g regions = Ok ())
+
+let region_partition_property =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:100 ~name:"regions always partition the graph"
+       QCheck2.Gen.(pair (int_range 1 12) (float_range 0.1 2.0))
+       (fun (n, budget) ->
+         let g = Ir.Pdg.create "r" in
+         for i = 0 to n - 1 do
+           ignore (Ir.Pdg.add_node g ~label:(string_of_int i) ~weight:0.3 ())
+         done;
+         for i = 0 to n - 2 do
+           Ir.Pdg.add_edge g ~src:i ~dst:(i + 1) ~kind:Ir.Dep.Register ()
+         done;
+         Ir.Region.validate g (Ir.Region.form g ~max_weight:budget) = Ok ()))
+
+(* ------------------------------------------------------------------ *)
+(* Call graph                                                          *)
+
+let cg_sample () =
+  let g = Ir.Callgraph.create () in
+  Ir.Callgraph.add_proc g ~name:"main" ~weight:1.0;
+  Ir.Callgraph.add_proc g ~name:"helper" ~weight:2.0;
+  Ir.Callgraph.add_proc g ~name:"leaf" ~weight:3.0;
+  Ir.Callgraph.add_call g ~caller:"main" ~callee:"helper" ~count:2 ();
+  Ir.Callgraph.add_call g ~caller:"helper" ~callee:"leaf" ();
+  g
+
+let callgraph_transitive_weight () =
+  let g = cg_sample () in
+  Alcotest.(check (float 1e-9)) "leaf" 3.0 (Ir.Callgraph.transitive_weight g "leaf");
+  Alcotest.(check (float 1e-9)) "helper" 5.0 (Ir.Callgraph.transitive_weight g "helper");
+  (* main = 1 + 2 * (2 + 3) = 11 *)
+  Alcotest.(check (float 1e-9)) "main" 11.0 (Ir.Callgraph.transitive_weight g "main")
+
+let callgraph_recursion_detected () =
+  let g = cg_sample () in
+  Alcotest.(check bool) "main not recursive" false (Ir.Callgraph.is_recursive g "main");
+  Ir.Callgraph.add_call g ~caller:"leaf" ~callee:"helper" ();
+  Alcotest.(check bool) "helper in cycle" true (Ir.Callgraph.is_recursive g "helper");
+  Alcotest.(check bool) "leaf in cycle" true (Ir.Callgraph.is_recursive g "leaf");
+  Alcotest.(check bool) "main still not" false (Ir.Callgraph.is_recursive g "main")
+
+let callgraph_recursive_weight_truncates () =
+  let g = Ir.Callgraph.create () in
+  Ir.Callgraph.add_proc g ~name:"search" ~weight:1.0;
+  Ir.Callgraph.add_call g ~caller:"search" ~callee:"search" ();
+  let w = Ir.Callgraph.transitive_weight g ~recursion_depth:4 "search" in
+  Alcotest.(check (float 1e-9)) "4 levels + root" 5.0 w
+
+let callgraph_unroll_crafty_style () =
+  (* The 186.crafty trick: specialize the recursive Search one level so
+     the loop in the first call parallelizes too. *)
+  let g = Ir.Callgraph.create () in
+  Ir.Callgraph.add_proc g ~name:"SearchRoot" ~weight:1.0;
+  Ir.Callgraph.add_proc g ~name:"Search" ~weight:10.0;
+  Ir.Callgraph.add_call g ~caller:"SearchRoot" ~callee:"Search" ~count:30 ();
+  Ir.Callgraph.add_call g ~caller:"Search" ~callee:"Search" ~count:2 ();
+  let g' = Ir.Callgraph.unroll g ~proc:"Search" ~depth:2 in
+  Alcotest.(check bool) "specializations exist" true
+    (List.mem "Search#1" (Ir.Callgraph.procedures g')
+    && List.mem "Search#2" (Ir.Callgraph.procedures g'));
+  Alcotest.(check bool) "no copy is recursive" true
+    ((not (Ir.Callgraph.is_recursive g' "Search#1"))
+    && not (Ir.Callgraph.is_recursive g' "Search#2"));
+  (* Search#2 dropped the recursive call: weight 10; Search#1 = 10 + 2*10. *)
+  Alcotest.(check (float 1e-9)) "chained weight" 30.0
+    (Ir.Callgraph.transitive_weight g' "Search#1")
+
+let callgraph_unroll_requires_recursion () =
+  let g = cg_sample () in
+  Alcotest.check_raises "not recursive"
+    (Invalid_argument "Callgraph.unroll: helper is not directly recursive") (fun () ->
+      ignore (Ir.Callgraph.unroll g ~proc:"helper" ~depth:2))
+
+let callgraph_inline_order () =
+  let g = cg_sample () in
+  let order = Ir.Callgraph.inline_order g in
+  let pos x =
+    let rec go i = function [] -> -1 | y :: r -> if y = x then i else go (i + 1) r in
+    go 0 order
+  in
+  Alcotest.(check bool) "leaf before helper" true (pos "leaf" < pos "helper");
+  Alcotest.(check bool) "helper before main" true (pos "helper" < pos "main")
+
+let () =
+  Alcotest.run "ir"
+    [
+      ( "task",
+        [
+          Alcotest.test_case "phase order" `Quick task_phase_order;
+          Alcotest.test_case "rejects negative" `Quick task_rejects_negative;
+          Alcotest.test_case "total work" `Quick task_total_work;
+        ] );
+      ( "dep",
+        [
+          Alcotest.test_case "self edge" `Quick dep_rejects_self_edge;
+          Alcotest.test_case "kind strings" `Quick dep_kind_strings;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "total work" `Quick trace_total_work;
+          Alcotest.test_case "validate ok" `Quick trace_validate_ok;
+          Alcotest.test_case "validate bad id" `Quick trace_validate_bad_id;
+          Alcotest.test_case "validate backward dep" `Quick trace_validate_backward_dep;
+          Alcotest.test_case "find loop" `Quick trace_find_loop;
+        ] );
+      ( "pdg",
+        [
+          Alcotest.test_case "chain" `Quick pdg_chain;
+          Alcotest.test_case "cycle" `Quick pdg_cycle;
+          Alcotest.test_case "consider filter" `Quick pdg_consider_filter;
+          Alcotest.test_case "successors" `Quick pdg_successors;
+          Alcotest.test_case "weight" `Quick pdg_weight;
+          Alcotest.test_case "bad edge" `Quick pdg_bad_edge;
+          pdg_scc_partition;
+        ] );
+      ( "region",
+        [
+          Alcotest.test_case "respects budget" `Quick region_respects_budget;
+          Alcotest.test_case "whole graph" `Quick region_whole_graph_budget;
+          Alcotest.test_case "oversized scc" `Quick region_oversized_scc;
+          region_partition_property;
+        ] );
+      ( "callgraph",
+        [
+          Alcotest.test_case "transitive weight" `Quick callgraph_transitive_weight;
+          Alcotest.test_case "recursion" `Quick callgraph_recursion_detected;
+          Alcotest.test_case "recursive weight" `Quick callgraph_recursive_weight_truncates;
+          Alcotest.test_case "unroll" `Quick callgraph_unroll_crafty_style;
+          Alcotest.test_case "unroll requires recursion" `Quick callgraph_unroll_requires_recursion;
+          Alcotest.test_case "inline order" `Quick callgraph_inline_order;
+        ] );
+    ]
