@@ -4,12 +4,20 @@
 
      dune exec bench/main.exe              # everything, medium scale
      dune exec bench/main.exe -- quick     # skip the Bechamel timing pass
-*)
+
+   Independent studies run across a Domain pool sized by REPRO_JOBS
+   (default: the machine's recommended domain count).  All printing
+   happens on the main domain in registry order, so stdout is
+   byte-identical at any job count. *)
 
 open Bechamel
 open Toolkit
 
 let scale = Benchmarks.Study.Medium
+
+let jobs = Parallel.Pool.default_domains ()
+
+let pool = Parallel.Pool.create ~domains:jobs
 
 let section title =
   Format.printf "@.============================================================@.";
@@ -19,7 +27,25 @@ let section title =
 (* ------------------------------------------------------------------ *)
 (* Experiments (computed once, reused by figures, tables and timers)   *)
 
-let experiments = lazy (List.map (Core.Experiment.run ~scale) Benchmarks.Registry.all)
+(* Per-study wall-clock, recorded for BENCH_pipeline.json. *)
+let study_seconds : (string * float) list ref = ref []
+
+let experiments =
+  lazy
+    (let timed =
+       Parallel.Pool.map_list pool
+         (fun (s : Benchmarks.Study.t) ->
+           let t0 = Unix.gettimeofday () in
+           let e = Core.Experiment.run ~scale s in
+           (e, Unix.gettimeofday () -. t0))
+         Benchmarks.Registry.all
+     in
+     study_seconds :=
+       List.map
+         (fun ((e : Core.Experiment.t), dt) ->
+           (e.Core.Experiment.study.Benchmarks.Study.spec_name, dt))
+         timed;
+     List.map fst timed)
 
 let experiment name =
   List.find
@@ -116,63 +142,82 @@ let table2 () =
 let ablation_annotations () =
   section "Ablation: sequential-model extensions on vs off (16 threads)";
   Format.printf "%-12s %12s %12s@." "benchmark" "annotated" "baseline";
+  let rows =
+    Parallel.Pool.map_list pool
+      (fun name ->
+        match Benchmarks.Registry.find name with
+        | Some s when s.Benchmarks.Study.baseline_plan <> None ->
+          let a = Core.Experiment.run ~scale ~threads:[ 1; 16 ] s in
+          let b = Core.Experiment.run ~scale ~threads:[ 1; 16 ] ~use_baseline_plan:true s in
+          Some
+            ( name,
+              speedup_of a.Core.Experiment.series 16,
+              speedup_of b.Core.Experiment.series 16 )
+        | _ -> None)
+      Benchmarks.Registry.names
+  in
   List.iter
-    (fun name ->
-      match Benchmarks.Registry.find name with
-      | Some s when s.Benchmarks.Study.baseline_plan <> None ->
-        let a = Core.Experiment.run ~scale ~threads:[ 1; 16 ] s in
-        let b = Core.Experiment.run ~scale ~threads:[ 1; 16 ] ~use_baseline_plan:true s in
-        Format.printf "%-12s %11.2fx %11.2fx@." name
-          (speedup_of a.Core.Experiment.series 16)
-          (speedup_of b.Core.Experiment.series 16)
-      | _ -> ())
-    Benchmarks.Registry.names;
+    (function
+      | Some (name, a, b) -> Format.printf "%-12s %11.2fx %11.2fx@." name a b
+      | None -> ())
+    rows;
   (* gzip and gcc ablate through workload variants, not plans. *)
   let sweep_plan plan profile =
     let built = Core.Framework.build ~plan profile in
     Sim.Speedup.sweep ~threads:[ 1; 16 ] ~label:"x" built.Core.Framework.input
   in
   let gzip = study "164.gzip" in
-  Format.printf "%-12s %11.2fx %11.2fx   (Y-branch vs heuristic blocks)@." "164.gzip"
-    (speedup_of
-       (sweep_plan gzip.Benchmarks.Study.plan
-          (Benchmarks.B164_gzip.run_with_policy ~ybranch:true ~scale))
-       16)
-    (speedup_of
-       (sweep_plan gzip.Benchmarks.Study.plan
-          (Benchmarks.B164_gzip.run_with_policy ~ybranch:false ~scale))
-       16);
   let gcc = study "176.gcc" in
-  Format.printf "%-12s %11.2fx %11.2fx   (per-function vs global label_num)@." "176.gcc"
-    (speedup_of
-       (sweep_plan gcc.Benchmarks.Study.plan
-          (Benchmarks.B176_gcc.run_with_label_scheme ~per_function_labels:true ~scale))
-       16)
-    (speedup_of
-       (sweep_plan gcc.Benchmarks.Study.plan
-          (Benchmarks.B176_gcc.run_with_label_scheme ~per_function_labels:false ~scale))
-       16)
+  let variants =
+    Parallel.Pool.map_list pool
+      (fun mk -> speedup_of (mk ()) 16)
+      [
+        (fun () ->
+          sweep_plan gzip.Benchmarks.Study.plan
+            (Benchmarks.B164_gzip.run_with_policy ~ybranch:true ~scale));
+        (fun () ->
+          sweep_plan gzip.Benchmarks.Study.plan
+            (Benchmarks.B164_gzip.run_with_policy ~ybranch:false ~scale));
+        (fun () ->
+          sweep_plan gcc.Benchmarks.Study.plan
+            (Benchmarks.B176_gcc.run_with_label_scheme ~per_function_labels:true ~scale));
+        (fun () ->
+          sweep_plan gcc.Benchmarks.Study.plan
+            (Benchmarks.B176_gcc.run_with_label_scheme ~per_function_labels:false ~scale));
+      ]
+  in
+  match variants with
+  | [ gzip_y; gzip_h; gcc_per_fn; gcc_global ] ->
+    Format.printf "%-12s %11.2fx %11.2fx   (Y-branch vs heuristic blocks)@." "164.gzip"
+      gzip_y gzip_h;
+    Format.printf "%-12s %11.2fx %11.2fx   (per-function vs global label_num)@." "176.gcc"
+      gcc_per_fn gcc_global
+  | _ -> assert false
 
 let ablation_policies () =
   section "Ablation: misspeculation policy and eager forwarding (16 threads)";
   List.iter
     (fun bench ->
       Format.printf "%s:@." bench;
+      let rows =
+        Parallel.Pool.map_list pool
+          (fun (label, policy) ->
+            let e = Core.Experiment.run ~scale ~threads:[ 1; 16 ] ~policy (study bench) in
+            let misspec = Core.Experiment.misspec_total e ~threads:16 in
+            (label, speedup_of e.Core.Experiment.series 16, misspec))
+          [
+            ( "serialize (paper's model)",
+              { Sim.Pipeline.misspec = Sim.Pipeline.Serialize; forwarding = false } );
+            ( "squash + re-execute",
+              { Sim.Pipeline.misspec = Sim.Pipeline.Squash; forwarding = false } );
+            ( "serialize + forwarding",
+              { Sim.Pipeline.misspec = Sim.Pipeline.Serialize; forwarding = true } );
+          ]
+      in
       List.iter
-        (fun (label, policy) ->
-          let e = Core.Experiment.run ~scale ~threads:[ 1; 16 ] ~policy (study bench) in
-          let misspec = Core.Experiment.misspec_total e ~threads:16 in
-          Format.printf "  %-28s %8.2fx  (misspec-affected tasks: %d)@." label
-            (speedup_of e.Core.Experiment.series 16)
-            misspec)
-        [
-          ( "serialize (paper's model)",
-            { Sim.Pipeline.misspec = Sim.Pipeline.Serialize; forwarding = false } );
-          ( "squash + re-execute",
-            { Sim.Pipeline.misspec = Sim.Pipeline.Squash; forwarding = false } );
-          ( "serialize + forwarding",
-            { Sim.Pipeline.misspec = Sim.Pipeline.Serialize; forwarding = true } );
-        ])
+        (fun (label, sp, misspec) ->
+          Format.printf "  %-28s %8.2fx  (misspec-affected tasks: %d)@." label sp misspec)
+        rows)
     (* twolf: dense conflicts — squash collapses into a re-execution
        storm, vindicating the paper's serialize-on-occurrence model;
        vortex: sparse conflicts — the policies barely differ. *)
@@ -183,19 +228,20 @@ let ablation_queue_capacity () =
   let gzip = study "164.gzip" in
   let profile = gzip.Benchmarks.Study.run ~scale in
   let built = Core.Framework.build ~plan:gzip.Benchmarks.Study.plan profile in
-  List.iter
+  Parallel.Pool.map_list pool
     (fun cap ->
       let config ~cores = Machine.Config.make ~cores ~queue_capacity:cap () in
       let series =
         Sim.Speedup.sweep ~threads:[ 1; 16 ] ~config ~label:"q" built.Core.Framework.input
       in
-      Format.printf "capacity %3d: %.2fx@." cap (speedup_of series 16))
+      (cap, speedup_of series 16))
     [ 1; 2; 4; 8; 32; 128 ]
+  |> List.iter (fun (cap, sp) -> Format.printf "capacity %3d: %.2fx@." cap sp)
 
 let ablation_silent_stores () =
   section "Ablation: silent-store detection (181.mcf refresh_potential, 16 threads)";
   let mcf = study "181.mcf" in
-  List.iter
+  Parallel.Pool.map_list pool
     (fun (label, silent) ->
       let plan =
         { mcf.Benchmarks.Study.plan with Speculation.Spec_plan.silent_stores = silent }
@@ -203,8 +249,9 @@ let ablation_silent_stores () =
       let profile = mcf.Benchmarks.Study.run ~scale in
       let built = Core.Framework.build ~plan profile in
       let series = Sim.Speedup.sweep ~threads:[ 1; 16 ] ~label built.Core.Framework.input in
-      Format.printf "%-22s %.2fx@." label (speedup_of series 16))
+      (label, speedup_of series 16))
     [ ("silent stores on", true); ("silent stores off", false) ]
+  |> List.iter (fun (label, sp) -> Format.printf "%-22s %.2fx@." label sp)
 
 let dswp_vs_tls () =
   section "DSWP plan vs TLS plan (paper Section 3.2: 'similar results'; 16 threads)";
@@ -222,7 +269,7 @@ let dswp_vs_tls () =
 let auto_vs_hand () =
   section "Automatic (profile-guided) plan vs hand plan (16 threads)";
   Format.printf "%-12s %10s %10s@." "benchmark" "hand" "auto";
-  List.iter
+  Parallel.Pool.map_list pool
     (fun (s : Benchmarks.Study.t) ->
       let speedup_built (b : Core.Framework.built) =
         let series =
@@ -238,9 +285,10 @@ let auto_vs_hand () =
           ~commutative:s.Benchmarks.Study.plan.Speculation.Spec_plan.commutative
           (s.Benchmarks.Study.run ~scale)
       in
-      Format.printf "%-12s %9.2fx %9.2fx@." s.Benchmarks.Study.spec_name hand
-        (speedup_built auto_built))
+      (s.Benchmarks.Study.spec_name, hand, speedup_built auto_built))
     Benchmarks.Registry.all
+  |> List.iter (fun (name, hand, auto) ->
+         Format.printf "%-12s %9.2fx %9.2fx@." name hand auto)
 
 let gantt_demo () =
   section "Schedule detail: 256.bzip2 on 8 cores (Gantt; paper Figure 3c's shape)";
@@ -318,8 +366,33 @@ let run_bechamel () =
       | Some _ | None -> Format.printf "%-32s (no estimate)@." name)
     results
 
+(* ------------------------------------------------------------------ *)
+(* Machine-readable perf record                                        *)
+
+(* BENCH_pipeline.json gives future PRs a wall-clock trajectory: jobs
+   used, total harness time, and per-study experiment time.  Timings
+   vary run to run and are deliberately kept out of stdout so that the
+   printed tables/figures stay byte-identical at any job count. *)
+let write_bench_json ~total_seconds =
+  let oc = open_out "BENCH_pipeline.json" in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"harness\": \"bench/main.exe\",\n";
+  Printf.fprintf oc "  \"jobs\": %d,\n" jobs;
+  Printf.fprintf oc "  \"scale\": %S,\n" (Benchmarks.Study.scale_to_string scale);
+  Printf.fprintf oc "  \"total_seconds\": %.3f,\n" total_seconds;
+  Printf.fprintf oc "  \"studies\": [";
+  List.iteri
+    (fun i (name, dt) ->
+      Printf.fprintf oc "%s\n    { \"name\": %S, \"seconds\": %.3f }"
+        (if i = 0 then "" else ",")
+        name dt)
+    !study_seconds;
+  Printf.fprintf oc "\n  ]\n}\n";
+  close_out oc
+
 let () =
   let quick = Array.length Sys.argv > 1 && Sys.argv.(1) = "quick" in
+  let t0 = Unix.gettimeofday () in
   figure1 ();
   figure2 ();
   figure3 ();
@@ -338,4 +411,6 @@ let () =
   gantt_demo ();
   static_model ();
   if not quick then run_bechamel ();
+  write_bench_json ~total_seconds:(Unix.gettimeofday () -. t0);
+  Parallel.Pool.shutdown pool;
   Format.printf "@.done.@."

@@ -27,6 +27,17 @@ let bench_arg =
   Arg.(required & opt (some string) None
        & info [ "b"; "benchmark" ] ~docv:"NAME" ~doc:"Benchmark name, e.g. 164.gzip or gzip.")
 
+let jobs_arg =
+  Arg.(value & opt int 0
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Worker domains for independent experiment points. 0 (the default) \
+                 means $(b,REPRO_JOBS) from the environment, or the machine's \
+                 recommended domain count. Results are identical at any job count.")
+
+let with_pool jobs f =
+  let domains = if jobs >= 1 then jobs else Parallel.Pool.default_domains () in
+  Parallel.Pool.with_pool ~domains f
+
 let find_study name =
   match Benchmarks.Registry.find name with
   | Some s -> Ok s
@@ -47,16 +58,17 @@ let list_cmd =
     Term.(const run $ const ())
 
 let run_cmd =
-  let run name scale =
+  let run name scale jobs =
     match find_study name with
     | Error e -> Error e
     | Ok study ->
-      let e = Core.Experiment.run ~scale study in
-      Core.Report.diagnostics Format.std_formatter e;
-      Ok ()
+      with_pool jobs (fun pool ->
+          let e = Core.Experiment.run ~pool ~scale study in
+          Core.Report.diagnostics Format.std_formatter e;
+          Ok ())
   in
   Cmd.v (Cmd.info "run" ~doc:"Sweep one benchmark across thread counts.")
-    Term.(term_result (const run $ bench_arg $ scale_arg))
+    Term.(term_result (const run $ bench_arg $ scale_arg $ jobs_arg))
 
 let table1_cmd =
   let run () = Core.Report.table1 Format.std_formatter Benchmarks.Registry.all in
@@ -64,12 +76,15 @@ let table1_cmd =
     Term.(const run $ const ())
 
 let table2_cmd =
-  let run scale =
-    let experiments = List.map (Core.Experiment.run ~scale) Benchmarks.Registry.all in
+  let run scale jobs =
+    let experiments =
+      with_pool jobs (fun pool ->
+          Parallel.Pool.map_list pool (Core.Experiment.run ~scale) Benchmarks.Registry.all)
+    in
     Core.Report.table2 Format.std_formatter experiments
   in
   Cmd.v (Cmd.info "table2" ~doc:"Reproduce Table 2 (best speedups vs Moore's law).")
-    Term.(const run $ scale_arg)
+    Term.(const run $ scale_arg $ jobs_arg)
 
 let figure_benchmarks = function
   | 4 -> Ok [ "181.mcf"; "253.perlbmk"; "255.vortex"; "256.bzip2" ]
@@ -83,7 +98,7 @@ let figure_cmd =
     Arg.(required & opt (some int) None
          & info [ "n"; "number" ] ~docv:"N" ~doc:"Figure number (3-7).")
   in
-  let run n scale =
+  let run n scale jobs =
     if n = 3 then begin
       Core.Report.figure3 Format.std_formatter (Machine.Config.default ~cores:8);
       Ok ()
@@ -93,35 +108,38 @@ let figure_cmd =
       | Error e -> Error e
       | Ok names ->
         let studies = List.filter_map Benchmarks.Registry.find names in
-        let experiments = List.map (Core.Experiment.run ~scale) studies in
+        let experiments =
+          with_pool jobs (fun pool ->
+              Parallel.Pool.map_list pool (Core.Experiment.run ~scale) studies)
+        in
         Core.Report.figure Format.std_formatter
           ~title:(Printf.sprintf "Figure %d: speedup of MT over ST execution" n)
           experiments;
         Ok ()
   in
   Cmd.v (Cmd.info "figure" ~doc:"Reproduce a figure's data series.")
-    Term.(term_result (const run $ number_arg $ scale_arg))
+    Term.(term_result (const run $ number_arg $ scale_arg $ jobs_arg))
 
 let ablate_cmd =
-  let run name scale =
+  let run name scale jobs =
     match find_study name with
     | Error e -> Error e
     | Ok study ->
       if study.Benchmarks.Study.baseline_plan = None then
         Error (`Msg (name ^ " has no annotation-free baseline plan"))
-      else begin
-        let annotated = Core.Experiment.run ~scale study in
-        let baseline = Core.Experiment.run ~scale ~use_baseline_plan:true study in
-        Format.printf "with annotations:@.";
-        Core.Report.diagnostics Format.std_formatter annotated;
-        Format.printf "without annotations:@.";
-        Core.Report.diagnostics Format.std_formatter baseline;
-        Ok ()
-      end
+      else
+        with_pool jobs (fun pool ->
+            let annotated = Core.Experiment.run ~pool ~scale study in
+            let baseline = Core.Experiment.run ~pool ~scale ~use_baseline_plan:true study in
+            Format.printf "with annotations:@.";
+            Core.Report.diagnostics Format.std_formatter annotated;
+            Format.printf "without annotations:@.";
+            Core.Report.diagnostics Format.std_formatter baseline;
+            Ok ())
   in
   Cmd.v
     (Cmd.info "ablate" ~doc:"Compare a study's annotated plan with its baseline plan.")
-    Term.(term_result (const run $ bench_arg $ scale_arg))
+    Term.(term_result (const run $ bench_arg $ scale_arg $ jobs_arg))
 
 let gantt_cmd =
   let threads_arg =
@@ -147,16 +165,17 @@ let gantt_cmd =
     Term.(term_result (const run $ bench_arg $ scale_arg $ threads_arg))
 
 let chart_cmd =
-  let run name scale =
+  let run name scale jobs =
     match find_study name with
     | Error e -> Error e
     | Ok study ->
-      let e = Core.Experiment.run ~scale study in
-      Core.Chart.pp Format.std_formatter [ e.Core.Experiment.series ];
-      Ok ()
+      with_pool jobs (fun pool ->
+          let e = Core.Experiment.run ~pool ~scale study in
+          Core.Chart.pp Format.std_formatter [ e.Core.Experiment.series ];
+          Ok ())
   in
   Cmd.v (Cmd.info "chart" ~doc:"Plot a benchmark's speedup curve as an ASCII chart.")
-    Term.(term_result (const run $ bench_arg $ scale_arg))
+    Term.(term_result (const run $ bench_arg $ scale_arg $ jobs_arg))
 
 let auto_cmd =
   let run name scale =

@@ -5,7 +5,8 @@ type t = {
   series : Sim.Speedup.series;
 }
 
-let run ?(scale = Benchmarks.Study.Small) ?(threads = Sim.Speedup.paper_thread_counts)
+let run ?pool ?(scale = Benchmarks.Study.Small)
+    ?(threads = Sim.Speedup.paper_thread_counts)
     ?(policy = Sim.Pipeline.default_policy) ?(use_baseline_plan = false) study =
   let plan =
     if use_baseline_plan then
@@ -15,7 +16,7 @@ let run ?(scale = Benchmarks.Study.Small) ?(threads = Sim.Speedup.paper_thread_c
   let profile = study.Benchmarks.Study.run ~scale in
   let built = Framework.build ~plan profile in
   let series =
-    Sim.Speedup.sweep ~threads ~policy ~label:study.Benchmarks.Study.spec_name
+    Sim.Speedup.sweep ?pool ~threads ~policy ~label:study.Benchmarks.Study.spec_name
       built.Framework.input
   in
   { study; scale; built; series }

@@ -9,6 +9,7 @@ type t = {
 }
 
 val run :
+  ?pool:Parallel.Pool.t ->
   ?scale:Benchmarks.Study.scale ->
   ?threads:int list ->
   ?policy:Sim.Pipeline.policy ->
@@ -18,7 +19,10 @@ val run :
 (** Defaults: [Small] scale, the paper's thread sweep, the paper's
     Serialize policy, the study's annotated plan.
     [use_baseline_plan:true] switches to the study's annotation-free
-    baseline (identity when the study has none). *)
+    baseline (identity when the study has none).  [?pool] parallelizes
+    the thread sweep across domains; the result is identical to the
+    sequential run (profiling and plan resolution stay on the calling
+    domain, and sweep points are independent). *)
 
 val best : t -> Sim.Speedup.point
 

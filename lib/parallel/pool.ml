@@ -1,0 +1,164 @@
+(* A batch is one fan-out: items are claimed by index from a shared
+   atomic counter, so the scheduling order is racy but the result
+   placement (by index) is not.  [run_item] must not raise — callers
+   wrap their function and stash the first exception instead. *)
+type batch = {
+  total : int;
+  next : int Atomic.t;  (* next unclaimed item index *)
+  remaining : int Atomic.t;  (* items not yet completed *)
+  run_item : int -> unit;
+}
+
+type t = {
+  lock : Mutex.t;
+  work : Condition.t;  (* workers: a new batch was installed, or shutdown *)
+  finished : Condition.t;  (* owner: the in-flight batch fully drained *)
+  mutable batch : batch option;
+  mutable generation : int;  (* bumped with every installed batch *)
+  mutable shutting_down : bool;
+  mutable workers : unit Domain.t array;
+  size : int;
+}
+
+let size t = t.size
+
+(* Claim and run items until the batch is exhausted.  Whoever completes
+   the last item wakes the owner. *)
+let drain t b =
+  let continue = ref true in
+  while !continue do
+    let i = Atomic.fetch_and_add b.next 1 in
+    if i >= b.total then continue := false
+    else begin
+      b.run_item i;
+      if Atomic.fetch_and_add b.remaining (-1) = 1 then begin
+        Mutex.lock t.lock;
+        Condition.broadcast t.finished;
+        Mutex.unlock t.lock
+      end
+    end
+  done
+
+let rec worker_loop t last_gen =
+  Mutex.lock t.lock;
+  while t.generation = last_gen && not t.shutting_down do
+    Condition.wait t.work t.lock
+  done;
+  if t.shutting_down then Mutex.unlock t.lock
+  else begin
+    let gen = t.generation in
+    let b = t.batch in
+    Mutex.unlock t.lock;
+    (match b with Some b -> drain t b | None -> ());
+    worker_loop t gen
+  end
+
+let create ~domains =
+  let size = max 1 domains in
+  let t =
+    {
+      lock = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      batch = None;
+      generation = 0;
+      shutting_down = false;
+      workers = [||];
+      size;
+    }
+  in
+  t.workers <- Array.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t 0));
+  t
+
+(* Run a batch with the owner participating.  If another batch is
+   already in flight (a nested call from a worker), degrade to
+   sequential execution in this domain — correct, just not parallel. *)
+let run_batch t ~total ~run_item =
+  if total > 0 then begin
+    Mutex.lock t.lock;
+    if t.batch <> None then begin
+      Mutex.unlock t.lock;
+      for i = 0 to total - 1 do
+        run_item i
+      done
+    end
+    else begin
+      let b = { total; next = Atomic.make 0; remaining = Atomic.make total; run_item } in
+      t.batch <- Some b;
+      t.generation <- t.generation + 1;
+      Condition.broadcast t.work;
+      Mutex.unlock t.lock;
+      drain t b;
+      Mutex.lock t.lock;
+      while Atomic.get b.remaining > 0 do
+        Condition.wait t.finished t.lock
+      done;
+      t.batch <- None;
+      Mutex.unlock t.lock
+    end
+  end
+
+let reraise (e, bt) = Printexc.raise_with_backtrace e bt
+
+let map t f arr =
+  let n = Array.length arr in
+  if t.size <= 1 || n <= 1 then Array.map f arr
+  else begin
+    let results = Array.make n None in
+    let error = Atomic.make None in
+    let run_item i =
+      match f arr.(i) with
+      | v -> results.(i) <- Some v
+      | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        ignore (Atomic.compare_and_set error None (Some (e, bt)))
+    in
+    run_batch t ~total:n ~run_item;
+    match Atomic.get error with
+    | Some err -> reraise err
+    | None ->
+      Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let map_list t f l = Array.to_list (map t f (Array.of_list l))
+
+let parallel_for t ~n body =
+  if t.size <= 1 || n <= 1 then
+    for i = 0 to n - 1 do
+      body i
+    done
+  else begin
+    let error = Atomic.make None in
+    let run_item i =
+      match body i with
+      | () -> ()
+      | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        ignore (Atomic.compare_and_set error None (Some (e, bt)))
+    in
+    run_batch t ~total:n ~run_item;
+    match Atomic.get error with Some err -> reraise err | None -> ()
+  end
+
+let shutdown t =
+  Mutex.lock t.lock;
+  if t.shutting_down then Mutex.unlock t.lock
+  else begin
+    t.shutting_down <- true;
+    Condition.broadcast t.work;
+    Mutex.unlock t.lock;
+    Array.iter Domain.join t.workers;
+    t.workers <- [||]
+  end
+
+let with_pool ~domains f =
+  let t = create ~domains in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let default_domains () =
+  match Sys.getenv_opt "REPRO_JOBS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | Some _ | None -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()

@@ -1,0 +1,58 @@
+(** Fixed-size pool of worker domains for running independent experiment
+    points in parallel.
+
+    Hand-rolled on stdlib [Domain]/[Mutex]/[Condition] — no external
+    dependency.  The design follows the owner-participates task-pool
+    idiom: the domain that submits a batch also claims items from it, so
+    a pool of size [n] spawns [n - 1] worker domains and a pool of size
+    1 spawns none and degrades to plain sequential iteration.
+
+    Determinism: [map] gathers results by input index, so the output
+    array is bit-identical to [Array.map] regardless of which domain
+    computed which element — provided the function itself is
+    deterministic per element (all simulator entry points are; every RNG
+    in the reproduction is seeded per study).
+
+    Thread-safety contract: batches are submitted by one owner at a
+    time.  A [map]/[parallel_for] issued while another batch is in
+    flight (e.g. from inside a worker's function) detects the conflict
+    and runs sequentially in the calling domain, so nesting is safe but
+    not parallel. *)
+
+type t
+
+val create : domains:int -> t
+(** [create ~domains] makes a pool of total parallelism [domains]
+    (clamped below at 1): the owner plus [domains - 1] spawned worker
+    domains.  The pool is reusable for any number of batches until
+    [shutdown]. *)
+
+val size : t -> int
+(** Total parallelism of the pool, including the submitting domain. *)
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map t f arr] is [Array.map f arr], computed by the pool.  Results
+    are ordered by input index.  If [f] raises on any element, the
+    batch still drains and the first captured exception is re-raised
+    (with its backtrace) in the caller; which exception is "first" is
+    unspecified when several elements raise. *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map] for lists, preserving order. *)
+
+val parallel_for : t -> n:int -> (int -> unit) -> unit
+(** [parallel_for t ~n body] runs [body i] for [0 <= i < n] across the
+    pool.  Same exception contract as [map]. *)
+
+val shutdown : t -> unit
+(** Join the worker domains.  Idempotent.  A shut-down pool remains
+    usable: subsequent batches run sequentially in the caller. *)
+
+val with_pool : domains:int -> (t -> 'a) -> 'a
+(** [with_pool ~domains f] creates a pool, applies [f], and shuts the
+    pool down even if [f] raises. *)
+
+val default_domains : unit -> int
+(** Parallelism knob for the harness binaries: [REPRO_JOBS] from the
+    environment if set to a positive integer, otherwise
+    [Domain.recommended_domain_count ()]. *)

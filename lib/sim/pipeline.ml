@@ -73,6 +73,38 @@ let build_iter_views (loop : Input.loop) =
       in
       { a = a.(i); bs = sorted; c = c.(i) })
 
+(* The views (and their per-iteration sort) depend only on the loop, not
+   on the machine, yet a thread sweep re-enters run_loop once per core
+   count with the same loop value.  Memoize per loop, keyed by physical
+   identity — a structural duplicate would only recompute identical
+   views, never a wrong result.  The mutex makes the cache safe when
+   sweeps run concurrently in several domains; the size cap keeps it
+   from growing without bound across long sessions. *)
+module Loop_tbl = Hashtbl.Make (struct
+  type t = Input.loop
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+let views_cache : iter_view array Loop_tbl.t = Loop_tbl.create 64
+let views_lock = Mutex.create ()
+
+let iter_views loop =
+  Mutex.lock views_lock;
+  match Loop_tbl.find_opt views_cache loop with
+  | Some v ->
+    Mutex.unlock views_lock;
+    v
+  | None ->
+    Mutex.unlock views_lock;
+    let v = build_iter_views loop in
+    Mutex.lock views_lock;
+    if Loop_tbl.length views_cache >= 512 then Loop_tbl.reset views_cache;
+    Loop_tbl.replace views_cache loop v;
+    Mutex.unlock views_lock;
+    v
+
 let run_loop (cfg : Machine.Config.t) ?(policy = default_policy) (loop : Input.loop) =
   let n = cfg.Machine.Config.cores in
   let ntasks = Array.length loop.Input.tasks in
@@ -85,7 +117,7 @@ let run_loop (cfg : Machine.Config.t) ?(policy = default_policy) (loop : Input.l
     in
     let lat = cfg.Machine.Config.comm_latency in
     let cap = cfg.Machine.Config.queue_capacity in
-    let views = build_iter_views loop in
+    let views = iter_views loop in
     let iters = Array.length views in
     let work tid = loop.Input.tasks.(tid).Ir.Task.work in
     let phase tid = loop.Input.tasks.(tid).Ir.Task.phase in
@@ -110,7 +142,9 @@ let run_loop (cfg : Machine.Config.t) ?(policy = default_policy) (loop : Input.l
     let core_free = Array.make n 0 in
     let b_cores = Array.of_list assignment.Dswp.Planner.b_cores in
     let m = Array.length b_cores in
-    let fifo = Array.make m [] in  (* in-queue contents, head first *)
+    let fifo : int Simcore.Deque.t array =
+      Array.init m (fun _ -> Simcore.Deque.create ())  (* in-queue contents *)
+    in
     let in_occ = Array.make m 0 in
     let out_occ = Array.make m 0 in
     let enq_work = Array.make m 0 in
@@ -224,7 +258,7 @@ let run_loop (cfg : Machine.Config.t) ?(policy = default_policy) (loop : Input.l
               enq_work.(slot) <- enq_work.(slot) + work tid
             end);
           (* Back to the head of its in-queue for re-execution. *)
-          fifo.(slot) <- tid :: fifo.(slot);
+          Simcore.Deque.push_front fifo.(slot) tid;
           in_occ.(slot) <- in_occ.(slot) + 1
         | Ir.Task.A | Ir.Task.C ->
           (* A and C run non-speculatively in this plan; they are never
@@ -290,9 +324,9 @@ let run_loop (cfg : Machine.Config.t) ?(policy = default_policy) (loop : Input.l
       | None -> (
         if out_occ.(slot) >= cap then false
         else
-          match fifo.(slot) with
-          | [] -> false
-          | tid :: rest -> (
+          match Simcore.Deque.peek_front fifo.(slot) with
+          | None -> false
+          | Some tid -> (
             if arrival.(tid) > !now then begin
               push_wake arrival.(tid);
               false
@@ -307,7 +341,7 @@ let run_loop (cfg : Machine.Config.t) ?(policy = default_policy) (loop : Input.l
                   false
                 end
                 else begin
-                  fifo.(slot) <- rest;
+                  ignore (Simcore.Deque.pop_front fifo.(slot));
                   in_occ.(slot) <- in_occ.(slot) - 1;
                   (* enq_work keeps counting the running task until it
                      finishes: dispatch balances on outstanding work. *)
@@ -332,7 +366,7 @@ let run_loop (cfg : Machine.Config.t) ?(policy = default_policy) (loop : Input.l
           match !best with
           | -1 -> b :: rest
           | s ->
-            fifo.(s) <- fifo.(s) @ [ b ];
+            Simcore.Deque.push_back fifo.(s) b;
             in_occ.(s) <- in_occ.(s) + 1;
             if in_occ.(s) > !in_hw then in_hw := in_occ.(s);
             enq_work.(s) <- enq_work.(s) + work b;

@@ -4,14 +4,23 @@ type series = { label : string; points : point list }
 
 let paper_thread_counts = [ 1; 2; 4; 6; 8; 12; 16; 24; 32 ]
 
-let sweep ?(threads = paper_thread_counts) ?(policy = Pipeline.default_policy)
+let sweep ?pool ?(threads = paper_thread_counts) ?(policy = Pipeline.default_policy)
     ?(config = fun ~cores -> Machine.Config.default ~cores) ~label input =
   let run_one n =
     let cfg = config ~cores:n in
     let result = Pipeline.run cfg ~policy input in
     { threads = n; speedup = Pipeline.speedup result; result }
   in
-  { label; points = List.map run_one (List.sort_uniq compare threads) }
+  let threads = List.sort_uniq compare threads in
+  (* Each sweep point is an independent simulation of the same immutable
+     input, and results are gathered by thread index, so the parallel
+     path returns exactly the sequential series. *)
+  let points =
+    match pool with
+    | None -> List.map run_one threads
+    | Some pool -> Parallel.Pool.map_list pool run_one threads
+  in
+  { label; points }
 
 let best s =
   match s.points with

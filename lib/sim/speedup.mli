@@ -13,6 +13,7 @@ val paper_thread_counts : int list
 (** 1, 2, 4, 6, 8, 12, 16, 24, 32 — the sweep used throughout. *)
 
 val sweep :
+  ?pool:Parallel.Pool.t ->
   ?threads:int list ->
   ?policy:Pipeline.policy ->
   ?config:(cores:int -> Machine.Config.t) ->
@@ -20,7 +21,10 @@ val sweep :
   Input.t ->
   series
 (** Run the program on machines of each size; speedups are relative to
-    the single-threaded time. *)
+    the single-threaded time.  With [?pool], the sweep points run
+    concurrently across the pool's domains; the resulting series is
+    bit-identical to the sequential one (points are independent and
+    gathered in thread order). *)
 
 val best : series -> point
 (** The paper's Table 2 metric: the point of maximum speedup, preferring

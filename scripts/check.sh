@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus an end-to-end smoke run of the benchmark harness.
+#
+#   scripts/check.sh            # build, tests, bench smoke (quick mode)
+#   REPRO_JOBS=8 scripts/check.sh
+#
+# The bench smoke regenerates every table/figure at medium scale and
+# writes BENCH_pipeline.json (jobs used, wall-clock per study) so each
+# PR leaves a perf data point behind.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+dune build
+dune runtest
+dune exec bench/main.exe -- quick > /dev/null
+echo "check.sh: build + runtest + bench smoke OK"
+echo "perf record: BENCH_pipeline.json"

@@ -1,0 +1,128 @@
+(* Tests for the Domain pool: result ordering, exception propagation,
+   reuse across batches, nesting, and — the property the whole harness
+   rests on — bit-identical experiment results at any domain count. *)
+
+let map_ordering () =
+  Parallel.Pool.with_pool ~domains:4 (fun pool ->
+      let input = Array.init 100 (fun i -> i) in
+      let out = Parallel.Pool.map pool (fun x -> x * x) input in
+      Alcotest.(check (array int)) "ordered by index" (Array.init 100 (fun i -> i * i)) out)
+
+let map_matches_sequential () =
+  (* domains = 1 takes the sequential fallback; both paths must agree. *)
+  let input = Array.init 57 (fun i -> (3 * i) + 1) in
+  let f x = (x * x) - x in
+  let seq = Parallel.Pool.with_pool ~domains:1 (fun p -> Parallel.Pool.map p f input) in
+  let par = Parallel.Pool.with_pool ~domains:4 (fun p -> Parallel.Pool.map p f input) in
+  Alcotest.(check (array int)) "identical" seq par
+
+let map_list_order () =
+  Parallel.Pool.with_pool ~domains:3 (fun pool ->
+      let out = Parallel.Pool.map_list pool String.uppercase_ascii [ "a"; "b"; "c"; "d" ] in
+      Alcotest.(check (list string)) "list order" [ "A"; "B"; "C"; "D" ] out)
+
+let exception_propagates () =
+  Parallel.Pool.with_pool ~domains:4 (fun pool ->
+      Alcotest.check_raises "worker exception reaches owner" (Failure "boom") (fun () ->
+          ignore
+            (Parallel.Pool.map pool
+               (fun x -> if x = 17 then failwith "boom" else x)
+               (Array.init 64 (fun i -> i)))))
+
+let usable_after_exception () =
+  Parallel.Pool.with_pool ~domains:4 (fun pool ->
+      (try ignore (Parallel.Pool.map pool (fun _ -> failwith "x") [| 1; 2; 3 |])
+       with Failure _ -> ());
+      let out = Parallel.Pool.map pool (fun x -> x + 1) [| 1; 2; 3 |] in
+      Alcotest.(check (array int)) "pool recovered" [| 2; 3; 4 |] out)
+
+let reuse_many_batches () =
+  Parallel.Pool.with_pool ~domains:3 (fun pool ->
+      for k = 1 to 8 do
+        let out = Parallel.Pool.map pool (fun x -> x * k) (Array.init 32 (fun i -> i)) in
+        Alcotest.(check (array int))
+          (Printf.sprintf "batch %d" k)
+          (Array.init 32 (fun i -> i * k))
+          out
+      done)
+
+let parallel_for_covers_all () =
+  Parallel.Pool.with_pool ~domains:4 (fun pool ->
+      let hits = Array.make 1000 0 in
+      (* Each index is claimed by exactly one domain, so the unsynchronized
+         per-slot increment is race-free. *)
+      Parallel.Pool.parallel_for pool ~n:1000 (fun i -> hits.(i) <- hits.(i) + 1);
+      Alcotest.(check (array int)) "each index exactly once" (Array.make 1000 1) hits)
+
+let nested_map_degrades () =
+  (* A map issued while a batch is in flight runs sequentially in the
+     calling domain — correct results, no deadlock. *)
+  Parallel.Pool.with_pool ~domains:4 (fun pool ->
+      let out =
+        Parallel.Pool.map pool
+          (fun x ->
+            Array.fold_left ( + ) 0 (Parallel.Pool.map pool (fun y -> x * y) [| 1; 2; 3 |]))
+          (Array.init 16 (fun i -> i))
+      in
+      Alcotest.(check (array int)) "nested" (Array.init 16 (fun i -> 6 * i)) out)
+
+let shutdown_idempotent_then_sequential () =
+  let pool = Parallel.Pool.create ~domains:4 in
+  Parallel.Pool.shutdown pool;
+  Parallel.Pool.shutdown pool;
+  let out = Parallel.Pool.map pool (fun x -> x + 1) [| 1; 2; 3 |] in
+  Alcotest.(check (array int)) "degrades to sequential" [| 2; 3; 4 |] out
+
+let default_domains_positive () =
+  Alcotest.(check bool) "at least 1" true (Parallel.Pool.default_domains () >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism of the experiment harness across domain counts          *)
+
+let sweep_all ~domains ~study_level =
+  Parallel.Pool.with_pool ~domains (fun pool ->
+      if study_level then
+        (* Parallelism across the 11 studies, as bench/main.ml uses it. *)
+        Parallel.Pool.map_list pool
+          (fun s ->
+            (Core.Experiment.run ~scale:Benchmarks.Study.Small s).Core.Experiment.series)
+          Benchmarks.Registry.all
+      else
+        (* Parallelism across the sweep's thread counts, as repro uses it. *)
+        List.map
+          (fun s ->
+            (Core.Experiment.run ~pool ~scale:Benchmarks.Study.Small s)
+              .Core.Experiment.series)
+          Benchmarks.Registry.all)
+
+let registry_sweep_deterministic () =
+  let sequential = sweep_all ~domains:1 ~study_level:true in
+  let by_study = sweep_all ~domains:4 ~study_level:true in
+  let by_thread = sweep_all ~domains:4 ~study_level:false in
+  Alcotest.(check bool)
+    "domains=4 (study-level) structurally equals domains=1" true
+    (sequential = by_study);
+  Alcotest.(check bool)
+    "domains=4 (sweep-level) structurally equals domains=1" true
+    (sequential = by_thread)
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map ordering" `Quick map_ordering;
+          Alcotest.test_case "map matches sequential" `Quick map_matches_sequential;
+          Alcotest.test_case "map_list order" `Quick map_list_order;
+          Alcotest.test_case "exception propagates" `Quick exception_propagates;
+          Alcotest.test_case "usable after exception" `Quick usable_after_exception;
+          Alcotest.test_case "reuse across batches" `Quick reuse_many_batches;
+          Alcotest.test_case "parallel_for covers all" `Quick parallel_for_covers_all;
+          Alcotest.test_case "nested map degrades" `Quick nested_map_degrades;
+          Alcotest.test_case "shutdown idempotent" `Quick shutdown_idempotent_then_sequential;
+          Alcotest.test_case "default domains" `Quick default_domains_positive;
+        ] );
+      ( "determinism",
+        [ Alcotest.test_case "registry sweep at 1 and 4 domains" `Quick
+            registry_sweep_deterministic ] );
+    ]

@@ -451,6 +451,29 @@ let lz77_fast_does_less_work () =
   Alcotest.(check string) "best round-trips" text
     (Workloads.Lz77.decompress best.Workloads.Lz77.tokens)
 
+(* ------------------------------------------------------------------ *)
+(* Performance regression: deep in-queue                               *)
+
+let deep_fifo_linear_time () =
+  (* Three cores leave a single B slot, and with a huge queue capacity
+     the dispatcher floods its in-queue with every B task up front — the
+     queue gets ~80k entries deep.  The in-queue must be a real FIFO:
+     the seed's [fifo.(s) <- fifo.(s) @ [ b ]] append made this pass
+     quadratic (billions of conses); the deque keeps it linear.  The
+     time budget is generous for slow machines but far below what the
+     quadratic append costs. *)
+  let iters = 40_000 in
+  let loop = build_loop (List.init iters (fun _ -> (None, [ 1; 1 ], None))) [] in
+  let t0 = Sys.time () in
+  let r = P.run_loop (cfg ~cap:100_000 3) loop in
+  let elapsed = Sys.time () -. t0 in
+  Alcotest.(check int) "span is total B work" (2 * iters) r.P.span;
+  Alcotest.(check bool) "queue really got deep (>= 10k entries)" true
+    (r.P.in_queue_high_water >= 10_000);
+  Alcotest.(check bool)
+    (Printf.sprintf "linear-time FIFO (%.2fs, budget 5s)" elapsed)
+    true (elapsed < 5.0)
+
 let () =
   Alcotest.run "sim"
     [
@@ -510,4 +533,6 @@ let () =
           Alcotest.test_case "lz77 levels" `Quick lz77_fast_does_less_work;
         ] );
       ("input", [ Alcotest.test_case "merge edges" `Quick input_merges_duplicate_edges ]);
+      ( "perf-regression",
+        [ Alcotest.test_case "deep fifo linear time" `Quick deep_fifo_linear_time ] );
     ]

@@ -161,6 +161,67 @@ let stats_geomean_property =
   qtest "geomean <= mean (AM-GM)" QCheck2.Gen.(list_size (int_range 1 20) (float_range 0.1 100.0))
     (fun xs -> Simcore.Stats.geomean xs <= Simcore.Stats.mean xs +. 1e-9)
 
+(* ------------------------------------------------------------------ *)
+(* Deque                                                               *)
+
+let deque_fifo_order () =
+  let d = Simcore.Deque.create () in
+  for i = 1 to 5 do
+    Simcore.Deque.push_back d i
+  done;
+  Alcotest.(check (list int)) "to_list head first" [ 1; 2; 3; 4; 5 ] (Simcore.Deque.to_list d);
+  Alcotest.(check (option int)) "peek" (Some 1) (Simcore.Deque.peek_front d);
+  Alcotest.(check (option int)) "pop 1" (Some 1) (Simcore.Deque.pop_front d);
+  Alcotest.(check (option int)) "pop 2" (Some 2) (Simcore.Deque.pop_front d);
+  Alcotest.(check int) "length" 3 (Simcore.Deque.length d)
+
+let deque_push_front () =
+  let d = Simcore.Deque.create () in
+  Simcore.Deque.push_back d 2;
+  Simcore.Deque.push_back d 3;
+  Simcore.Deque.push_front d 1;
+  Alcotest.(check (list int)) "front first" [ 1; 2; 3 ] (Simcore.Deque.to_list d);
+  ignore (Simcore.Deque.pop_front d);
+  (* A squash re-queues at the head even after pops have normalized. *)
+  Simcore.Deque.push_front d 9;
+  Alcotest.(check (list int)) "re-queued head" [ 9; 2; 3 ] (Simcore.Deque.to_list d)
+
+let deque_empty_and_clear () =
+  let d = Simcore.Deque.create () in
+  Alcotest.(check bool) "fresh empty" true (Simcore.Deque.is_empty d);
+  Alcotest.(check (option int)) "pop empty" None (Simcore.Deque.pop_front d);
+  Simcore.Deque.push_back d 1;
+  Simcore.Deque.clear d;
+  Alcotest.(check bool) "cleared" true (Simcore.Deque.is_empty d);
+  Alcotest.(check (option int)) "peek cleared" None (Simcore.Deque.peek_front d)
+
+(* Model-based property: a trace of random operations behaves like a
+   reference list (head = front). *)
+let deque_model_property =
+  qtest ~count:300 "deque matches list model"
+    QCheck2.Gen.(list (pair (int_range 0 2) small_int))
+    (fun ops ->
+      let d = Simcore.Deque.create () in
+      let model = ref [] in
+      List.iter
+        (fun (op, x) ->
+          match op with
+          | 0 ->
+            Simcore.Deque.push_back d x;
+            model := !model @ [ x ]
+          | 1 ->
+            Simcore.Deque.push_front d x;
+            model := x :: !model
+          | _ -> (
+            let popped = Simcore.Deque.pop_front d in
+            match !model with
+            | [] -> assert (popped = None)
+            | y :: rest ->
+              assert (popped = Some y);
+              model := rest))
+        ops;
+      Simcore.Deque.to_list d = !model && Simcore.Deque.length d = List.length !model)
+
 let () =
   Alcotest.run "simcore"
     [
@@ -176,6 +237,13 @@ let () =
           Alcotest.test_case "chance extremes" `Quick rng_chance_extremes;
           Alcotest.test_case "shuffle permutes" `Quick rng_shuffle_permutes;
           Alcotest.test_case "geometric" `Quick rng_geometric_nonnegative;
+        ] );
+      ( "deque",
+        [
+          Alcotest.test_case "fifo order" `Quick deque_fifo_order;
+          Alcotest.test_case "push front" `Quick deque_push_front;
+          Alcotest.test_case "empty and clear" `Quick deque_empty_and_clear;
+          deque_model_property;
         ] );
       ( "heap",
         [
