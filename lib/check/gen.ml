@@ -1,0 +1,223 @@
+module Tree = struct
+  type 'a t = Node of 'a * (unit -> 'a t Seq.t)
+
+  let root (Node (x, _)) = x
+
+  let children (Node (_, c)) = c ()
+
+  let make x children = Node (x, children)
+
+  let pure x = Node (x, fun () -> Seq.empty)
+
+  let rec map f (Node (x, c)) = Node (f x, fun () -> Seq.map (map f) (c ()))
+
+  (* Shrink the left tree first, then the right: earlier components of a
+     tuple shrink before later ones, like QuickCheck. *)
+  let rec map2 f (Node (x, cx) as tx) (Node (y, cy) as ty) =
+    Node
+      ( f x y,
+        fun () ->
+          Seq.append
+            (Seq.map (fun tx' -> map2 f tx' ty) (cx ()))
+            (Seq.map (fun ty' -> map2 f tx ty') (cy ())) )
+
+  (* Monadic bind: shrinking the outer value re-derives the inner tree,
+     so the caller must make [f] deterministic (the generator layer does,
+     by freezing the RNG state it hands to [f]). *)
+  let rec bind (Node (x, cx)) f =
+    let (Node (y, cy)) = f x in
+    Node
+      ( y,
+        fun () ->
+          Seq.append (Seq.map (fun tx' -> bind tx' f) (cx ())) (cy ()) )
+
+  let rec filter p (Node (x, c)) =
+    Node (x, fun () -> Seq.filter_map (fun t -> if p (root t) then Some (filter p t) else None) (c ()))
+end
+
+type 'a t = Simcore.Rng.t -> 'a Tree.t
+
+let generate (g : 'a t) rng = g rng
+
+let return x : 'a t = fun _ -> Tree.pure x
+
+let map f (g : 'a t) : 'b t = fun rng -> Tree.map f (g rng)
+
+let map2 f (ga : 'a t) (gb : 'b t) : 'c t =
+ fun rng ->
+  let ta = ga rng in
+  let tb = gb rng in
+  Tree.map2 f ta tb
+
+let map3 f ga gb gc = map2 (fun f c -> f c) (map2 f ga gb) gc
+
+let pair ga gb = map2 (fun a b -> (a, b)) ga gb
+
+let triple ga gb gc = map3 (fun a b c -> (a, b, c)) ga gb gc
+
+let bind (g : 'a t) (f : 'a -> 'b t) : 'b t =
+ fun rng ->
+  (* Freeze an independent stream for the continuation so that re-running
+     [f] on a shrunk outer value replays the same inner randomness —
+     without this, integrated shrinking of [bind] would not be
+     deterministic. *)
+  let inner = Simcore.Rng.split rng in
+  let t = g rng in
+  Tree.bind t (fun x -> f x (Simcore.Rng.copy inner))
+
+let ( let* ) = bind
+
+let no_shrink (g : 'a t) : 'a t = fun rng -> Tree.pure (Tree.root (g rng))
+
+(* Candidate shrinks of [n] toward [towards]: the target first, then
+   values halving the remaining distance.  O(log |n - towards|) long. *)
+let int_shrink_candidates ~towards n =
+  if n = towards then Seq.empty
+  else
+    let rec halves diff () =
+      if diff = 0 then Seq.Nil else Seq.Cons (n - diff, halves (diff / 2))
+    in
+    halves (n - towards)
+
+let rec int_tree ~towards n =
+  Tree.make n (fun () -> Seq.map (int_tree ~towards) (int_shrink_candidates ~towards n))
+
+let int_range ?origin lo hi : int t =
+  if lo > hi then invalid_arg "Gen.int_range: lo > hi";
+  let towards =
+    match origin with
+    | Some o -> if o < lo then lo else if o > hi then hi else o
+    | None -> if lo <= 0 && 0 <= hi then 0 else lo
+  in
+  fun rng -> int_tree ~towards (Simcore.Rng.int_in rng lo hi)
+
+let int_bound hi = int_range 0 hi
+
+let small_nat : int t = int_range 0 100
+
+let bool : bool t =
+ fun rng ->
+  let b = Simcore.Rng.bool rng in
+  if b then Tree.make true (fun () -> Seq.return (Tree.pure false)) else Tree.pure false
+
+let char_range lo hi : char t =
+  map Char.chr (int_range ~origin:(Char.code lo) (Char.code lo) (Char.code hi))
+
+let printable_char : char t = char_range 'a' 'z'
+
+let byte_char : char t = map Char.chr (int_range 0 255)
+
+let oneof (gs : 'a t list) : 'a t =
+  match gs with
+  | [] -> invalid_arg "Gen.oneof: empty list"
+  | gs ->
+    let arr = Array.of_list gs in
+    fun rng -> arr.(Simcore.Rng.int rng (Array.length arr)) rng
+
+let oneofl (xs : 'a list) : 'a t =
+  match xs with
+  | [] -> invalid_arg "Gen.oneofl: empty list"
+  | xs ->
+    let arr = Array.of_list xs in
+    (* Shrinks toward the first alternative. *)
+    map (fun i -> arr.(i)) (int_range 0 (Array.length arr - 1))
+
+let frequency (weighted : (int * 'a t) list) : 'a t =
+  let total = List.fold_left (fun acc (w, _) -> acc + w) 0 weighted in
+  if total <= 0 then invalid_arg "Gen.frequency: non-positive total weight";
+  fun rng ->
+    let roll = Simcore.Rng.int rng total in
+    let rec pick acc = function
+      | [] -> assert false
+      | (w, g) :: rest -> if roll < acc + w then g rng else pick (acc + w) rest
+    in
+    pick 0 weighted
+
+(* List shrinking: try dropping chunks of elements (largest first, so a
+   failing case collapses fast), then shrink individual elements. *)
+let rec list_tree (trees : 'a Tree.t list) : 'a list Tree.t =
+  let n = List.length trees in
+  let shrinks () =
+    let removals =
+      let rec chunk_sizes k () = if k <= 0 then Seq.Nil else Seq.Cons (k, chunk_sizes (k / 2)) in
+      Seq.concat_map
+        (fun k ->
+          Seq.init
+            ((n + k - 1) / k)
+            (fun j ->
+              let lo = j * k in
+              List.filteri (fun i _ -> i < lo || i >= lo + k) trees))
+        (chunk_sizes (n / 2))
+    in
+    let removals = if n > 0 then Seq.cons [] removals else removals in
+    let elementwise =
+      Seq.concat_map
+        (fun i ->
+          let before = List.filteri (fun j _ -> j < i) trees in
+          let here = List.nth trees i in
+          let after = List.filteri (fun j _ -> j > i) trees in
+          Seq.map (fun here' -> before @ (here' :: after)) (Tree.children here))
+        (Seq.init n Fun.id)
+    in
+    Seq.map list_tree (Seq.append removals elementwise)
+  in
+  Tree.make (List.map Tree.root trees) shrinks
+
+let list_size (size : int t) (g : 'a t) : 'a list t =
+ fun rng ->
+  let n = Tree.root (size rng) in
+  let trees = List.init n (fun _ -> g rng) in
+  list_tree trees
+
+let list g = list_size (int_range 0 20) g
+
+let array_size size g = map Array.of_list (list_size size g)
+
+let array g = map Array.of_list (list g)
+
+let string_size ?(char = printable_char) size : string t =
+  map (fun cs -> String.init (List.length cs) (List.nth cs)) (list_size size char)
+
+let string ?char () = string_size ?char (int_range 0 40)
+
+let such_that ?(max_tries = 200) p (g : 'a t) : 'a t =
+ fun rng ->
+  let rec attempt k =
+    if k = 0 then failwith "Gen.such_that: predicate never satisfied"
+    else
+      let t = g rng in
+      if p (Tree.root t) then Tree.filter p t else attempt (k - 1)
+  in
+  attempt max_tries
+
+let shuffle (xs : 'a list) : 'a list t =
+  (* Structure-only randomness: the permutation does not shrink. *)
+  fun rng ->
+   let arr = Array.of_list xs in
+   Simcore.Rng.shuffle rng arr;
+   Tree.pure (Array.to_list arr)
+
+(* A shrinkable permutation of [0..n-1]: shrinks toward the identity by
+   undoing swaps.  Represented by the Fisher-Yates swap indices, each of
+   which shrinks toward its own position (no swap). *)
+let permutation n : int list t =
+  let swaps =
+    List.init (max 0 (n - 1)) (fun k ->
+        let i = n - 1 - k in
+        map (fun j -> (i, j)) (int_range ~origin:i 0 i))
+  in
+  let rec sequence = function
+    | [] -> return []
+    | g :: gs -> map2 (fun x xs -> x :: xs) g (sequence gs)
+  in
+  map
+    (fun swaps ->
+      let a = Array.init n Fun.id in
+      List.iter
+        (fun (i, j) ->
+          let t = a.(i) in
+          a.(i) <- a.(j);
+          a.(j) <- t)
+        swaps;
+      Array.to_list a)
+    (sequence swaps)

@@ -1,0 +1,97 @@
+(** Generators with integrated shrinking — the repo's dependency-free
+    QuickCheck core.
+
+    A generator is a function from a {!Simcore.Rng} state to a lazy rose
+    tree: the root is the generated value, the children are its shrink
+    candidates (each itself a tree, so shrinking composes through [map],
+    [bind] and the collection combinators for free).  All randomness
+    flows through [Simcore.Rng], so a run is replayed exactly by reusing
+    its integer seed. *)
+
+module Tree : sig
+  type 'a t = Node of 'a * (unit -> 'a t Seq.t)
+
+  val root : 'a t -> 'a
+
+  val children : 'a t -> 'a t Seq.t
+
+  val pure : 'a -> 'a t
+
+  val map : ('a -> 'b) -> 'a t -> 'b t
+end
+
+type 'a t = Simcore.Rng.t -> 'a Tree.t
+
+val generate : 'a t -> Simcore.Rng.t -> 'a Tree.t
+
+val return : 'a -> 'a t
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+
+val map2 : ('a -> 'b -> 'c) -> 'a t -> 'b t -> 'c t
+
+val map3 : ('a -> 'b -> 'c -> 'd) -> 'a t -> 'b t -> 'c t -> 'd t
+
+val pair : 'a t -> 'b t -> ('a * 'b) t
+
+val triple : 'a t -> 'b t -> 'c t -> ('a * 'b * 'c) t
+
+val bind : 'a t -> ('a -> 'b t) -> 'b t
+(** Monadic bind with deterministic integrated shrinking: the
+    continuation replays a frozen RNG stream, so shrinking the outer
+    value regenerates the inner one reproducibly. *)
+
+val ( let* ) : 'a t -> ('a -> 'b t) -> 'b t
+
+val no_shrink : 'a t -> 'a t
+
+val int_range : ?origin:int -> int -> int -> int t
+(** [int_range lo hi] is uniform in [lo, hi]; shrinks toward [origin]
+    (clamped; default 0 when inside the range, else [lo]). *)
+
+val int_bound : int -> int t
+(** [int_bound hi] = [int_range 0 hi]. *)
+
+val small_nat : int t
+
+val bool : bool t
+(** Shrinks toward [false]. *)
+
+val char_range : char -> char -> char t
+
+val printable_char : char t
+(** ['a'..'z'], shrinking toward ['a']. *)
+
+val byte_char : char t
+(** Any byte, shrinking toward ['\000']. *)
+
+val oneof : 'a t list -> 'a t
+
+val oneofl : 'a list -> 'a t
+(** Uniform choice from a literal list; shrinks toward the head. *)
+
+val frequency : (int * 'a t) list -> 'a t
+
+val list : 'a t -> 'a list t
+(** Up to 20 elements; shrinks by dropping chunks, then elementwise. *)
+
+val list_size : int t -> 'a t -> 'a list t
+
+val array : 'a t -> 'a array t
+
+val array_size : int t -> 'a t -> 'a array t
+
+val string : ?char:char t -> unit -> string t
+
+val string_size : ?char:char t -> int t -> string t
+
+val such_that : ?max_tries:int -> ('a -> bool) -> 'a t -> 'a t
+(** Retry until the predicate holds (raises [Failure] after
+    [max_tries]); shrink candidates are filtered by the predicate. *)
+
+val shuffle : 'a list -> 'a list t
+(** A uniform permutation of the given elements; does not shrink. *)
+
+val permutation : int -> int list t
+(** A uniform permutation of [0 .. n-1] that shrinks toward the
+    identity by undoing Fisher-Yates swaps. *)

@@ -1,0 +1,189 @@
+(* Descriptor of a random well-formed A/B/C loop: one (a, bs, c) work
+   tuple per iteration plus cross-iteration B-to-B edges addressed by
+   (iteration, intra) so the descriptor survives shrinking — an edge
+   whose endpoint was shrunk away is simply dropped by [build_loop]. *)
+type loop_desc = {
+  ld_iters : (int option * int list * int option) list;
+  ld_edges : (int * int * int * int * bool * int * int) list;
+      (* src iter, src intra, dst iter, dst intra, speculated,
+         src_offset, dst_offset *)
+}
+
+let pp_loop_desc ppf d =
+  let pp_opt ppf = function None -> Format.fprintf ppf "-" | Some w -> Format.fprintf ppf "%d" w in
+  Format.fprintf ppf "@[<v>loop of %d iterations:@," (List.length d.ld_iters);
+  List.iteri
+    (fun i (a, bs, c) ->
+      Format.fprintf ppf "  it %d: a=%a bs=[%s] c=%a@," i pp_opt a
+        (String.concat ";" (List.map string_of_int bs))
+        pp_opt c)
+    d.ld_iters;
+  List.iter
+    (fun (si, sj, di, dj, spec, so, dofs) ->
+      Format.fprintf ppf "  edge B(%d,%d) -> B(%d,%d)%s so=%d do=%d@," si sj di dj
+        (if spec then " spec" else "") so dofs)
+    d.ld_edges;
+  Format.fprintf ppf "@]"
+
+let show_loop_desc d = Format.asprintf "%a" pp_loop_desc d
+
+let build_loop ?(name = "gen") d =
+  let iters = Array.of_list d.ld_iters in
+  let tasks = ref [] in
+  let id = ref 0 in
+  let b_ids = Hashtbl.create 16 in
+  Array.iteri
+    (fun i (a, bs, c) ->
+      (match a with
+      | Some w ->
+        tasks := Ir.Task.make ~id:!id ~iteration:i ~phase:Ir.Task.A ~work:w () :: !tasks;
+        incr id
+      | None -> ());
+      List.iteri
+        (fun j w ->
+          Hashtbl.replace b_ids (i, j) !id;
+          tasks :=
+            Ir.Task.make ~id:!id ~iteration:i ~phase:Ir.Task.B ~intra:j ~work:w () :: !tasks;
+          incr id)
+        bs;
+      match c with
+      | Some w ->
+        tasks := Ir.Task.make ~id:!id ~iteration:i ~phase:Ir.Task.C ~work:w () :: !tasks;
+        incr id
+      | None -> ())
+    iters;
+  let edges =
+    List.filter_map
+      (fun (si, sj, di, dj, speculated, src_offset, dst_offset) ->
+        match (Hashtbl.find_opt b_ids (si, sj), Hashtbl.find_opt b_ids (di, dj)) with
+        | Some src, Some dst when si < di ->
+          Some { Sim.Input.src; dst; speculated; src_offset; dst_offset }
+        | _ -> None)
+      d.ld_edges
+  in
+  Sim.Input.make_loop ~name ~tasks:(Array.of_list (List.rev !tasks)) ~edges
+
+let loop_desc ?(max_iters = 10) ?(max_bs = 3) ?(max_work = 20) ?(edge_factor = 8)
+    ?(offsets = false) () =
+  let open Gen in
+  let work = int_range 0 max_work in
+  let iter =
+    triple
+      (oneof [ return None; map Option.some (int_range 0 (max 1 (max_work / 4))) ])
+      (list_size (int_range 1 max_bs) work)
+      (oneof [ return None; map Option.some (int_range 0 (max 1 (max_work / 4))) ])
+  in
+  let* iters = list_size (int_range 1 max_iters) iter in
+  let n = List.length iters in
+  let edge =
+    let* si = int_range 0 (max 0 (n - 2)) in
+    let* di = int_range (min (si + 1) (n - 1)) (n - 1) in
+    let* sj = int_range 0 (max_bs - 1) in
+    let* dj = int_range 0 (max_bs - 1) in
+    let* spec = bool in
+    let* so, dofs =
+      if offsets then pair (int_range 0 max_work) (int_range 0 max_work) else return (0, 0)
+    in
+    return (si, sj, di, dj, spec, so, dofs)
+  in
+  let* edges = list_size (int_range 0 edge_factor) edge in
+  return { ld_iters = iters; ld_edges = edges }
+
+let loop ?name ?max_iters ?max_bs ?max_work ?edge_factor ?offsets () =
+  Gen.map (build_loop ?name) (loop_desc ?max_iters ?max_bs ?max_work ?edge_factor ?offsets ())
+
+let input ?(max_segments = 4) () =
+  let open Gen in
+  let* descs =
+    list_size (int_range 1 max_segments)
+      (oneof
+         [
+           map (fun w -> `Serial w) (int_range 0 50);
+           map (fun d -> `Loop d) (loop_desc ~max_iters:6 ());
+         ])
+  in
+  let segments =
+    List.mapi
+      (fun i -> function
+        | `Serial w -> Sim.Input.Serial w
+        | `Loop d -> Sim.Input.Parallel (build_loop ~name:(Printf.sprintf "l%d" i) d))
+      descs
+  in
+  return (Sim.Input.make ~name:"gen" ~segments)
+
+let config ?(max_cores = 32) () =
+  let open Gen in
+  let* cores = int_range ~origin:1 1 max_cores in
+  let* cap = int_range ~origin:32 1 32 in
+  let* lat = int_range 0 5 in
+  return (Machine.Config.make ~cores ~queue_capacity:cap ~comm_latency:lat ())
+
+let policy =
+  let open Gen in
+  let* misspec = oneofl [ Sim.Sched.Serialize; Sim.Sched.Squash ] in
+  let* forwarding = bool in
+  return { Sim.Sched.misspec; forwarding }
+
+(* Random well-formed dynamic trace: serial segments interleaved with
+   loops whose task ids are array indices and whose iterations are
+   non-decreasing (Ir.Trace.validate accepts every generated trace). *)
+let trace ?(max_segments = 4) () =
+  let open Gen in
+  let* descs =
+    list_size (int_range 1 max_segments)
+      (oneof
+         [
+           map (fun w -> `Serial w) (int_range 1 50);
+           map (fun d -> `Loop d) (loop_desc ~max_iters:6 ());
+         ])
+  in
+  let segments =
+    List.mapi
+      (fun i -> function
+        | `Serial w -> Ir.Trace.Serial w
+        | `Loop d ->
+          let l = build_loop ~name:(Printf.sprintf "loop%d" i) d in
+          let explicit_deps =
+            List.map
+              (fun (e : Sim.Input.edge) ->
+                Ir.Dep.make ~src:e.Sim.Input.src ~dst:e.Sim.Input.dst ~kind:Ir.Dep.Register ())
+              l.Sim.Input.edges
+          in
+          Ir.Trace.Loop
+            { Ir.Trace.loop_name = l.Sim.Input.name; tasks = l.Sim.Input.tasks; explicit_deps })
+      descs
+  in
+  return { Ir.Trace.name = "gen-trace"; segments }
+
+(* Random static PDG: an acyclic weighted dependence graph (edges point
+   from lower to higher node ids) with a sprinkling of loop-carried
+   edges and breakers, the shape the DSWP partitioner consumes. *)
+let pdg ?(max_nodes = 8) () =
+  let open Gen in
+  let* nodes = list_size (int_range 1 max_nodes) (pair (int_range 1 100) bool) in
+  let n = List.length nodes in
+  let total = float_of_int (List.fold_left (fun acc (w, _) -> acc + w) 0 nodes) in
+  let edge =
+    let* src = int_range 0 (max 0 (n - 2)) in
+    let* dst = int_range (min (src + 1) (n - 1)) (n - 1) in
+    let* kind = oneofl [ Ir.Dep.Register; Ir.Dep.Memory; Ir.Dep.Control ] in
+    let* loop_carried = bool in
+    let* prob = map (fun p -> float_of_int p /. 100.0) (int_range 0 100) in
+    return (src, dst, kind, loop_carried, prob)
+  in
+  let* edges = list_size (int_range 0 (2 * n)) edge in
+  let g = Ir.Pdg.create "gen-pdg" in
+  List.iteri
+    (fun i (w, r) ->
+      ignore
+        (Ir.Pdg.add_node g
+           ~label:(Printf.sprintf "n%d" i)
+           ~weight:(float_of_int w /. total)
+           ~replicable:r ()))
+    nodes;
+  List.iter
+    (fun (src, dst, kind, loop_carried, probability) ->
+      if src <> dst && src < n && dst < n then
+        Ir.Pdg.add_edge g ~src ~dst ~kind ~loop_carried ~probability ())
+    edges;
+  return g

@@ -1,0 +1,57 @@
+(** Domain generators: random well-formed simulator inputs and IR
+    structures, built on {!Gen}.
+
+    Loops are generated through a printable descriptor ({!loop_desc}) so
+    a shrunk counterexample can be shown to the user; [build_loop] drops
+    any edge whose endpoint was shrunk away, so every shrink candidate is
+    still a well-formed loop. *)
+
+type loop_desc = {
+  ld_iters : (int option * int list * int option) list;
+      (** per-iteration (A work, B works, C work); [None] elides the
+          phase for that iteration *)
+  ld_edges : (int * int * int * int * bool * int * int) list;
+      (** (src iter, src intra, dst iter, dst intra, speculated,
+          src_offset, dst_offset) — B-to-B cross-iteration edges *)
+}
+
+val pp_loop_desc : Format.formatter -> loop_desc -> unit
+
+val show_loop_desc : loop_desc -> string
+
+val build_loop : ?name:string -> loop_desc -> Sim.Input.loop
+(** Materialise a descriptor; dangling or non-forward edges are dropped. *)
+
+val loop_desc :
+  ?max_iters:int ->
+  ?max_bs:int ->
+  ?max_work:int ->
+  ?edge_factor:int ->
+  ?offsets:bool ->
+  unit ->
+  loop_desc Gen.t
+
+val loop :
+  ?name:string ->
+  ?max_iters:int ->
+  ?max_bs:int ->
+  ?max_work:int ->
+  ?edge_factor:int ->
+  ?offsets:bool ->
+  unit ->
+  Sim.Input.loop Gen.t
+
+val input : ?max_segments:int -> unit -> Sim.Input.t Gen.t
+(** Serial and parallel-loop segments mixed. *)
+
+val config : ?max_cores:int -> unit -> Machine.Config.t Gen.t
+(** Cores shrink toward 1, queue capacity toward 32 (non-constraining),
+    latency toward 0. *)
+
+val policy : Sim.Sched.policy Gen.t
+
+val trace : ?max_segments:int -> unit -> Ir.Trace.t Gen.t
+(** Always passes [Ir.Trace.validate]. *)
+
+val pdg : ?max_nodes:int -> unit -> Ir.Pdg.t Gen.t
+(** Acyclic (edges point from lower to higher ids), normalised weights. *)

@@ -1,0 +1,51 @@
+(** Property driver: run a generator against a predicate, shrink any
+    failure to a minimal counterexample, and report a replayable seed.
+
+    Determinism contract: every case [i] of a run with seed [s] draws
+    from [Simcore.Rng.create (s + 0x9E3779B9 * i)], so a reported
+    [(seed, case)] pair replays the exact failing input (and its whole
+    shrink sequence) on any machine.
+
+    Environment knobs:
+    - [CHECK_COUNT] — cases per property when the caller does not pass
+      [?count] (default 100; the [@prop] dune alias sets 1000);
+    - [CHECK_SEED] — overrides the per-property default seed (an FNV-1a
+      hash of the property name), letting CI explore fresh inputs while
+      still printing the seed needed to replay a failure. *)
+
+type failure = {
+  seed : int;
+  case : int;  (** 0-based index of the failing case *)
+  shrink_steps : int;
+  counterexample : string;  (** printed minimal counterexample *)
+  error : string;  (** "property is false" or the escaping exception *)
+}
+
+type outcome = Passed of int | Failed of failure
+
+val default_count : unit -> int
+
+val seed_of_name : string -> int
+
+val run_prop :
+  ?count:int ->
+  ?seed:int ->
+  ?max_shrink_steps:int ->
+  ?print:('a -> string) ->
+  name:string ->
+  'a Gen.t ->
+  ('a -> bool) ->
+  outcome
+
+val pp_failure : name:string -> Format.formatter -> failure -> unit
+
+val run_prop_exn :
+  ?count:int ->
+  ?seed:int ->
+  ?max_shrink_steps:int ->
+  ?print:('a -> string) ->
+  name:string ->
+  'a Gen.t ->
+  ('a -> bool) ->
+  unit
+(** Raises [Failure] with the formatted failure report. *)

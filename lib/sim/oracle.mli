@@ -1,0 +1,48 @@
+(** Schedule oracle: validates every invariant a legal A/B/C-pipeline
+    schedule must satisfy, independently of how the simulator produced it.
+
+    The oracle re-checks a {!Sched.loop_result} against the input
+    dependence graph.  Its six invariants (plus a coverage precondition):
+
+    + {b schedule-coverage} — every task appears exactly once, its
+      interval length equals its work, and the span is the latest finish;
+    + {b core-exclusivity} — no two intervals overlap on one core, and
+      every core index is within the machine;
+    + {b dependence-ordering} — the structural pipeline edges (A chain,
+      A{_i} → B{_i} and B{_i} → C{_i} each plus one [comm_latency] hop,
+      C chain) and every explicit synchronized edge delay the consumer;
+      speculated edges do too under [Serialize];
+    + {b speculation-accounting} — [squashes] is zero under [Serialize],
+      and [misspec_delayed] never exceeds a recount of tasks whose start
+      sits exactly on a dominating speculated-edge constraint;
+    + {b queue-bounds} — both queue high-water marks stay within the
+      configured capacity, and the per-B-core task counts sum to the B
+      task count (when nothing was squashed);
+    + {b busy-conservation} — per-core busy time equals (or, with
+      squashed work, dominates) the sum of that core's intervals, and
+      total busy equals (dominates) the loop work;
+    + {b commit-order} — phase-C tasks start in iteration order.
+
+    Edge-timing checks are skipped where re-execution makes the final
+    schedule incomparable: under [Squash] with a non-zero squash count, a
+    producer may have re-executed after a committed consumer sampled it.
+    On a 0/1-core machine the loop runs serially in task order, so only
+    coverage, exclusivity and conservation apply. *)
+
+type violation = { invariant : string; detail : string }
+
+val invariant_names : string list
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val validate :
+  Machine.Config.t ->
+  ?policy:Sched.policy ->
+  Input.loop ->
+  Sched.loop_result ->
+  (unit, violation) result
+(** [validate cfg ~policy loop r] checks [r] against [loop] as simulated
+    on [cfg] under [policy] (default {!Sched.default_policy}). *)
+
+val validate_exn : Machine.Config.t -> ?policy:Sched.policy -> Input.loop -> Sched.loop_result -> unit
+(** Like {!validate} but raises [Failure] naming the violated invariant. *)

@@ -1,12 +1,17 @@
-type misspec_policy = Serialize | Squash
+type misspec_policy = Sched.misspec_policy = Serialize | Squash
 
-type policy = { misspec : misspec_policy; forwarding : bool }
+type policy = Sched.policy = { misspec : misspec_policy; forwarding : bool }
 
-let default_policy = { misspec = Serialize; forwarding = false }
+let default_policy = Sched.default_policy
 
-type sched_entry = { s_task : int; s_core : int; s_start : int; s_finish : int }
+type sched_entry = Sched.sched_entry = {
+  s_task : int;
+  s_core : int;
+  s_start : int;
+  s_finish : int;
+}
 
-type loop_result = {
+type loop_result = Sched.loop_result = {
   span : int;
   busy : int array;
   misspec_delayed : int;
@@ -22,6 +27,16 @@ type result = {
   sequential_time : int;
   loops : (string * loop_result) list;
 }
+
+(* Every schedule the simulator emits can be re-checked by Sim.Oracle.
+   The default comes from the SIM_VALIDATE environment variable so
+   scripts/check.sh (and any CI run) can turn the oracle on for the whole
+   process; tests flip the ref directly. *)
+let validate_default =
+  ref
+    (match Sys.getenv_opt "SIM_VALIDATE" with
+    | Some ("1" | "true" | "yes" | "on") -> true
+    | _ -> false)
 
 (* Per-iteration view of the loop's tasks. *)
 type iter_view = { a : int option; bs : int list; c : int option }
@@ -105,7 +120,7 @@ let iter_views loop =
     Mutex.unlock views_lock;
     v
 
-let run_loop (cfg : Machine.Config.t) ?(policy = default_policy) (loop : Input.loop) =
+let simulate_loop (cfg : Machine.Config.t) ?(policy = default_policy) (loop : Input.loop) =
   let n = cfg.Machine.Config.cores in
   let ntasks = Array.length loop.Input.tasks in
   if n <= 1 || ntasks = 0 then sequential_result cfg loop
@@ -504,7 +519,13 @@ let run_loop (cfg : Machine.Config.t) ?(policy = default_policy) (loop : Input.l
     }
   end
 
-let run cfg ?(policy = default_policy) (input : Input.t) =
+let run_loop (cfg : Machine.Config.t) ?(policy = default_policy) ?validate (loop : Input.loop) =
+  let r = simulate_loop cfg ~policy loop in
+  let validate = match validate with Some v -> v | None -> !validate_default in
+  if validate then Oracle.validate_exn cfg ~policy loop r;
+  r
+
+let run cfg ?(policy = default_policy) ?validate (input : Input.t) =
   let seq = Input.total_work input in
   let loops = ref [] in
   let total =
@@ -513,7 +534,7 @@ let run cfg ?(policy = default_policy) (input : Input.t) =
         match seg with
         | Input.Serial w -> acc + w
         | Input.Parallel loop ->
-          let r = run_loop cfg ~policy loop in
+          let r = run_loop cfg ~policy ?validate loop in
           loops := (loop.Input.name, r) :: !loops;
           acc + r.span)
       0 input.Input.segments

@@ -19,14 +19,14 @@
     read (at [dst_offset]) happens no earlier than the producer's write
     (at [src_offset]). *)
 
-type misspec_policy = Serialize | Squash
+type misspec_policy = Sched.misspec_policy = Serialize | Squash
 
-type policy = { misspec : misspec_policy; forwarding : bool }
+type policy = Sched.policy = { misspec : misspec_policy; forwarding : bool }
 
 val default_policy : policy
 (** [Serialize], no forwarding — the paper's model. *)
 
-type sched_entry = {
+type sched_entry = Sched.sched_entry = {
   s_task : int;
   s_core : int;
   s_start : int;
@@ -34,7 +34,7 @@ type sched_entry = {
 }
 (** Final (non-squashed) execution interval of one task. *)
 
-type loop_result = {
+type loop_result = Sched.loop_result = {
   span : int;  (** parallel execution time of the loop *)
   busy : int array;  (** per-core busy work units (includes squashed work) *)
   misspec_delayed : int;  (** tasks whose start a speculated edge delayed *)
@@ -53,9 +53,16 @@ type result = {
   loops : (string * loop_result) list;
 }
 
-val run_loop : Machine.Config.t -> ?policy:policy -> Input.loop -> loop_result
+val validate_default : bool ref
+(** When true, every simulated schedule is re-checked by {!Oracle}
+    (a violation raises [Failure]).  Initialized from the [SIM_VALIDATE]
+    environment variable ("1"/"true"/"yes"/"on"); the per-call
+    [?validate] argument overrides it. *)
 
-val run : Machine.Config.t -> ?policy:policy -> Input.t -> result
+val run_loop :
+  Machine.Config.t -> ?policy:policy -> ?validate:bool -> Input.loop -> loop_result
+
+val run : Machine.Config.t -> ?policy:policy -> ?validate:bool -> Input.t -> result
 
 val speedup : result -> float
 (** [sequential_time / total_time]; 1.0 for an empty program. *)

@@ -1,8 +1,14 @@
 #!/usr/bin/env bash
 # Tier-1 gate plus an end-to-end smoke run of the benchmark harness.
 #
-#   scripts/check.sh            # build, tests, bench smoke (quick mode)
+#   scripts/check.sh            # build, tests, prop tests, bench smoke
 #   REPRO_JOBS=8 scripts/check.sh
+#   CHECK_SEED=1234 scripts/check.sh   # re-seed every randomized property
+#
+# Every schedule simulated by the tests and the bench smoke is re-checked
+# by Sim.Oracle (SIM_VALIDATE=1).  The @prop alias runs each randomized
+# property at 1000 cases; a failure prints the CHECK_SEED that replays
+# its minimal counterexample.
 #
 # The bench smoke regenerates every table/figure at medium scale and
 # writes BENCH_pipeline.json (jobs used, wall-clock per study) so each
@@ -10,8 +16,24 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Validate every simulated schedule end to end.
+export SIM_VALIDATE=1
+
+# Re-seed the property suite when the caller asks for fresh inputs.
+if [[ -n "${CHECK_SEED:-}" ]]; then
+  export CHECK_SEED
+  echo "check.sh: property seed CHECK_SEED=${CHECK_SEED}"
+fi
+
+# Forward the repro job count to the bench smoke.
+if [[ -n "${REPRO_JOBS:-}" ]]; then
+  export REPRO_JOBS
+  echo "check.sh: REPRO_JOBS=${REPRO_JOBS}"
+fi
+
 dune build
 dune runtest
+dune build @prop
 dune exec bench/main.exe -- quick > /dev/null
-echo "check.sh: build + runtest + bench smoke OK"
+echo "check.sh: build + runtest + prop + bench smoke OK (schedules oracle-validated)"
 echo "perf record: BENCH_pipeline.json"

@@ -96,6 +96,54 @@ let commutative_rng_call_count () =
   Alcotest.(check int) "call count independent of order" (draw_n [ 1; 2; 3 ])
     (draw_n [ 3; 2; 1 ])
 
+(* Property: for a function that is legitimately Commutative in the
+   paper's sense — internal state (a memo cache) invisible from outside,
+   outputs a function of inputs only — ANY permutation of a call sequence
+   yields the same input-to-output mapping and the same final observable
+   cache contents.  The call list and the permutation are both random and
+   both shrink, so a failure would print a minimal reordering. *)
+let commutative_permutation_property () =
+  let module G = Check.Gen in
+  let registry = C.create () in
+  C.annotate registry ~fn:"memo_square" ~rollback:"memo_forget" ();
+  Alcotest.(check bool) "modeled function is annotated" true
+    (C.is_annotated registry ~fn:"memo_square");
+  let run_calls inputs =
+    (* One Commutative region instance: calls execute atomically against
+       a private cache; the observable result of a call depends only on
+       its argument. *)
+    let cache = Hashtbl.create 16 in
+    let memo_square x =
+      match Hashtbl.find_opt cache x with
+      | Some y -> y
+      | None ->
+        let y = x * x in
+        Hashtbl.add cache x y;
+        y
+    in
+    let outputs = List.map (fun x -> (x, memo_square x)) inputs in
+    let state =
+      List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) cache [])
+    in
+    (List.sort compare outputs, state)
+  in
+  let gen =
+    let open G in
+    let* inputs = list_size (int_range 0 12) (int_bound 20) in
+    let* perm = permutation (List.length inputs) in
+    return (inputs, perm)
+  in
+  let print (inputs, perm) =
+    Printf.sprintf "inputs=[%s] perm=[%s]"
+      (String.concat ";" (List.map string_of_int inputs))
+      (String.concat ";" (List.map string_of_int perm))
+  in
+  Check.Runner.run_prop_exn ~print ~name:"commutative permutation invariance" gen
+    (fun (inputs, perm) ->
+      let arr = Array.of_list inputs in
+      let permuted = List.map (fun i -> arr.(i)) perm in
+      run_calls inputs = run_calls permuted)
+
 let () =
   Alcotest.run "annotations"
     [
@@ -114,5 +162,6 @@ let () =
           Alcotest.test_case "duplicate" `Quick commutative_duplicate_rejected;
           Alcotest.test_case "speculative validation" `Quick commutative_speculative_validation;
           Alcotest.test_case "rng call count" `Quick commutative_rng_call_count;
+          Alcotest.test_case "permutation invariance" `Quick commutative_permutation_property;
         ] );
     ]

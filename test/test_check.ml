@@ -1,0 +1,184 @@
+(* Self-tests for the lib/check property engine: generator ranges,
+   deterministic replay from a printed seed, and — the point of
+   integrated shrinking — convergence to the known-minimal
+   counterexample. *)
+
+module G = Check.Gen
+module R = Check.Runner
+
+let expect_pass ~name gen prop =
+  match R.run_prop ~count:200 ~name gen prop with
+  | R.Passed _ -> ()
+  | R.Failed f -> Alcotest.failf "%s: unexpected failure: %a" name (R.pp_failure ~name) f
+
+let expect_fail ?print ~name gen prop =
+  match R.run_prop ~count:500 ?print ~name gen prop with
+  | R.Passed _ -> Alcotest.failf "%s: expected a counterexample" name
+  | R.Failed f -> f
+
+(* ------------------------------------------------------------------ *)
+(* Generator ranges                                                    *)
+
+let int_range_bounds () =
+  expect_pass ~name:"int_range in bounds" (G.int_range 3 17) (fun n -> 3 <= n && n <= 17);
+  expect_pass ~name:"int_bound in bounds" (G.int_bound 9) (fun n -> 0 <= n && n <= 9)
+
+let list_size_bounds () =
+  expect_pass ~name:"list_size length"
+    (G.list_size (G.int_range 2 5) (G.int_bound 10))
+    (fun l ->
+      let n = List.length l in
+      2 <= n && n <= 5)
+
+let such_that_filters () =
+  expect_pass ~name:"such_that even"
+    (G.such_that (fun n -> n mod 2 = 0) (G.int_bound 100))
+    (fun n -> n mod 2 = 0)
+
+let permutation_is_permutation () =
+  expect_pass ~name:"permutation valid" (G.permutation 8) (fun p ->
+      List.sort compare p = List.init 8 Fun.id)
+
+let shuffle_preserves_multiset () =
+  let xs = [ 5; 1; 4; 1; 3 ] in
+  expect_pass ~name:"shuffle multiset" (G.shuffle xs) (fun p ->
+      List.sort compare p = List.sort compare xs)
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking                                                           *)
+
+(* Integer shrinking must land exactly on the boundary: the smallest
+   failing value of [n >= 50] is 50, and the halving candidate sequence
+   always contains n-1, so greedy descent can only stop there. *)
+let shrink_int_to_boundary () =
+  let f =
+    expect_fail ~print:string_of_int ~name:"int boundary" (G.int_range 0 1000) (fun n -> n < 50)
+  in
+  Alcotest.(check string) "minimal is the boundary" "50" f.R.counterexample
+
+let shrink_list_to_singleton () =
+  (* The minimal list containing a 7 is [7]; element shrinking cannot
+     escape (7's shrink candidates avoid 7) and chunk removal reaches a
+     singleton. *)
+  let print l = "[" ^ String.concat ";" (List.map string_of_int l) ^ "]" in
+  let f =
+    match
+      R.run_prop ~count:500 ~print ~name:"list minimal"
+        (G.list_size (G.int_range 0 8) (G.int_bound 10))
+        (fun l -> not (List.mem 7 l))
+    with
+    | R.Passed _ -> Alcotest.fail "expected a list containing 7"
+    | R.Failed f -> f
+  in
+  Alcotest.(check string) "minimal list" "[7]" f.R.counterexample
+
+let shrink_pair_left_first () =
+  (* Both components can fail the property; shrinking must minimise the
+     left one first and then the right, ending at the joint minimum. *)
+  let f =
+    expect_fail
+      ~print:(fun (a, b) -> Printf.sprintf "%d,%d" a b)
+      ~name:"pair minimal"
+      (G.pair (G.int_bound 100) (G.int_bound 100))
+      (fun (a, b) -> a + b < 10)
+  in
+  let a, b = Scanf.sscanf f.R.counterexample "%d,%d" (fun a b -> (a, b)) in
+  Alcotest.(check int) "sum is the boundary" 10 (a + b)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism and replay                                              *)
+
+let generation_deterministic () =
+  let gen = Check.Gen_ir.loop_desc () in
+  let once seed = G.Tree.root (G.generate gen (Simcore.Rng.create seed)) in
+  Alcotest.(check bool) "same seed, same loop" true (once 42 = once 42);
+  Alcotest.(check bool) "different seed, different loop" true (once 42 <> once 43)
+
+let replay_reproduces_failure () =
+  let gen = G.list (G.int_bound 100) in
+  let prop l = List.fold_left ( + ) 0 l < 150 in
+  let print l = "[" ^ String.concat ";" (List.map string_of_int l) ^ "]" in
+  let run seed = R.run_prop ~count:300 ~seed ~print ~name:"replay" gen prop in
+  match run 7 with
+  | R.Passed _ -> Alcotest.fail "expected a failing sum"
+  | R.Failed f1 -> (
+    (* Replaying the printed seed must reproduce the identical failing
+       case and the identical minimal counterexample. *)
+    match run f1.R.seed with
+    | R.Passed _ -> Alcotest.fail "replay did not fail"
+    | R.Failed f2 ->
+      Alcotest.(check int) "same case" f1.R.case f2.R.case;
+      Alcotest.(check string) "same counterexample" f1.R.counterexample f2.R.counterexample)
+
+let failure_prints_seed () =
+  let f = expect_fail ~name:"seed printing" (G.int_bound 10) (fun _ -> false) in
+  let report = Format.asprintf "%a" (R.pp_failure ~name:"seed printing") f in
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "report names CHECK_SEED" true (contains report "CHECK_SEED=");
+  Alcotest.(check bool) "report has the seed value" true
+    (contains report (string_of_int f.R.seed))
+
+let distinct_names_distinct_seeds () =
+  Alcotest.(check bool) "FNV seeds differ" true
+    (R.seed_of_name "prop_a" <> R.seed_of_name "prop_b")
+
+(* ------------------------------------------------------------------ *)
+(* Domain generators                                                   *)
+
+let gen_loops_are_well_formed () =
+  expect_pass ~name:"gen loop valid"
+    (Check.Gen_ir.loop ~offsets:true ())
+    (fun (l : Sim.Input.loop) ->
+      let n = Array.length l.Sim.Input.tasks in
+      Array.for_all (fun (t : Ir.Task.t) -> t.Ir.Task.work >= 0) l.Sim.Input.tasks
+      && List.for_all
+           (fun (e : Sim.Input.edge) ->
+             e.Sim.Input.src >= 0 && e.Sim.Input.src < n && e.Sim.Input.dst >= 0
+             && e.Sim.Input.dst < n
+             && l.Sim.Input.tasks.(e.Sim.Input.src).Ir.Task.iteration
+                < l.Sim.Input.tasks.(e.Sim.Input.dst).Ir.Task.iteration)
+           l.Sim.Input.edges)
+
+let gen_traces_validate () =
+  expect_pass ~name:"gen trace validates" (Check.Gen_ir.trace ()) (fun t ->
+      match Ir.Trace.validate t with Ok () -> true | Error _ -> false)
+
+let gen_pdgs_are_acyclic () =
+  expect_pass ~name:"gen pdg forward edges" (Check.Gen_ir.pdg ()) (fun g ->
+      List.for_all (fun (e : Ir.Pdg.edge) -> e.Ir.Pdg.src < e.Ir.Pdg.dst) (Ir.Pdg.edges g))
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "generators",
+        [
+          Alcotest.test_case "int_range bounds" `Quick int_range_bounds;
+          Alcotest.test_case "list_size bounds" `Quick list_size_bounds;
+          Alcotest.test_case "such_that filters" `Quick such_that_filters;
+          Alcotest.test_case "permutation is a permutation" `Quick permutation_is_permutation;
+          Alcotest.test_case "shuffle preserves multiset" `Quick shuffle_preserves_multiset;
+        ] );
+      ( "shrinking",
+        [
+          Alcotest.test_case "int shrinks to the boundary" `Quick shrink_int_to_boundary;
+          Alcotest.test_case "list shrinks to a singleton" `Quick shrink_list_to_singleton;
+          Alcotest.test_case "pair shrinks both components" `Quick shrink_pair_left_first;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "generation deterministic" `Quick generation_deterministic;
+          Alcotest.test_case "failure replays from seed" `Quick replay_reproduces_failure;
+          Alcotest.test_case "failure prints its seed" `Quick failure_prints_seed;
+          Alcotest.test_case "per-name seeds differ" `Quick distinct_names_distinct_seeds;
+        ] );
+      ( "domain generators",
+        [
+          Alcotest.test_case "loops well-formed" `Quick gen_loops_are_well_formed;
+          Alcotest.test_case "traces validate" `Quick gen_traces_validate;
+          Alcotest.test_case "pdgs acyclic" `Quick gen_pdgs_are_acyclic;
+        ] );
+    ]

@@ -2,6 +2,9 @@
    reuse across batches, nesting, and — the property the whole harness
    rests on — bit-identical experiment results at any domain count. *)
 
+(* Every schedule simulated below is re-checked by the oracle. *)
+let () = Sim.Pipeline.validate_default := true
+
 let map_ordering () =
   Parallel.Pool.with_pool ~domains:4 (fun pool ->
       let input = Array.init 100 (fun i -> i) in
@@ -106,6 +109,24 @@ let registry_sweep_deterministic () =
     "domains=4 (sweep-level) structurally equals domains=1" true
     (sequential = by_thread)
 
+(* The 1-vs-4-domain check over randomized plans: sweeps of generated
+   programs (not just the fixed registry) must not depend on pool size. *)
+let randomized_plans_pool_invariant () =
+  let gen = Check.Gen_ir.input () in
+  let inputs =
+    List.init 8 (fun i ->
+        Check.Gen.Tree.root (Check.Gen.generate gen (Simcore.Rng.create (1000 + i))))
+  in
+  let sweep ~domains =
+    Parallel.Pool.with_pool ~domains (fun pool ->
+        List.map
+          (fun input -> Sim.Speedup.sweep ~pool ~label:"randomized" input)
+          inputs)
+  in
+  Alcotest.(check bool)
+    "randomized-plan sweeps identical at 1 and 4 domains" true
+    (sweep ~domains:1 = sweep ~domains:4)
+
 let () =
   Alcotest.run "parallel"
     [
@@ -123,6 +144,10 @@ let () =
           Alcotest.test_case "default domains" `Quick default_domains_positive;
         ] );
       ( "determinism",
-        [ Alcotest.test_case "registry sweep at 1 and 4 domains" `Quick
-            registry_sweep_deterministic ] );
+        [
+          Alcotest.test_case "registry sweep at 1 and 4 domains" `Quick
+            registry_sweep_deterministic;
+          Alcotest.test_case "randomized plans at 1 and 4 domains" `Quick
+            randomized_plans_pool_invariant;
+        ] );
     ]

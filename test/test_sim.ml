@@ -5,6 +5,10 @@
 module I = Sim.Input
 module P = Sim.Pipeline
 
+(* Every schedule simulated by this binary is re-checked by the oracle
+   (Sim.Oracle) — dune runtest validates what it simulates. *)
+let () = P.validate_default := true
+
 let cfg ?(lat = 0) ?(cap = 32) cores =
   Machine.Config.make ~cores ~queue_capacity:cap ~comm_latency:lat ()
 

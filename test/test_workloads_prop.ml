@@ -1,0 +1,130 @@
+(* Round-trip properties for every workload codec, driven by lib/check:
+   decode (encode x) = x over random inputs, shrinking any failure to a
+   minimal string. *)
+
+module G = Check.Gen
+module R = Check.Runner
+module W = Workloads
+
+let quoted s = Printf.sprintf "%S" s
+
+(* Short repetitive-ish strings: a small alphabet makes matches, runs and
+   dictionary hits actually occur, so the interesting codec paths run. *)
+let text_gen ?(max_len = 120) () =
+  G.string_size ~char:(G.char_range 'a' 'e') (G.int_range 0 max_len)
+
+let byte_gen ?(max_len = 80) () = G.string_size ~char:G.byte_char (G.int_range 0 max_len)
+
+(* ------------------------------------------------------------------ *)
+(* LZ77                                                                *)
+
+let lz77_roundtrip () =
+  List.iter
+    (fun (label, level) ->
+      R.run_prop_exn ~print:quoted ~name:("lz77 roundtrip " ^ label) (text_gen ())
+        (fun s -> W.Lz77.decompress (W.Lz77.compress ~level s).W.Lz77.tokens = s))
+    [ ("fast", W.Lz77.Fast); ("best", W.Lz77.Best) ]
+
+let lz77_roundtrip_bytes () =
+  (* Arbitrary bytes and a tiny window force distance wrap-around. *)
+  R.run_prop_exn ~print:quoted ~name:"lz77 roundtrip bytes small window" (byte_gen ())
+    (fun s -> W.Lz77.decompress (W.Lz77.compress ~window:16 s).W.Lz77.tokens = s)
+
+(* ------------------------------------------------------------------ *)
+(* BWT + MTF + RLE                                                     *)
+
+let bwt_roundtrip () =
+  R.run_prop_exn ~print:quoted ~name:"bwt inverse . transform = id" (text_gen ~max_len:60 ())
+    (fun s -> W.Bwt.inverse (W.Bwt.transform s) = s)
+
+let mtf_roundtrip () =
+  R.run_prop_exn ~print:quoted ~name:"mtf inverse . mtf = id" (byte_gen ())
+    (fun s -> W.Bwt.move_to_front_inverse (W.Bwt.move_to_front s) = s)
+
+let rle_roundtrip () =
+  R.run_prop_exn
+    ~print:(fun l -> "[" ^ String.concat ";" (List.map string_of_int l) ^ "]")
+    ~name:"rle inverse . rle = id"
+    (G.list (G.int_bound 255))
+    (fun l -> W.Bwt.run_length_inverse (W.Bwt.run_length l) = l)
+
+let bzip2_chain_roundtrip () =
+  (* The full per-block bzip2 pipeline: BWT, MTF, RLE and back. *)
+  R.run_prop_exn ~print:quoted ~name:"bwt+mtf+rle chain" (text_gen ~max_len:60 ())
+    (fun s ->
+      let t = W.Bwt.transform s in
+      let coded = W.Bwt.run_length (W.Bwt.move_to_front t.W.Bwt.data) in
+      let data = W.Bwt.move_to_front_inverse (W.Bwt.run_length_inverse coded) in
+      W.Bwt.inverse { t with W.Bwt.data } = s)
+
+(* ------------------------------------------------------------------ *)
+(* Huffman                                                             *)
+
+let huffman_roundtrip () =
+  R.run_prop_exn
+    ~print:(fun l -> "[" ^ String.concat ";" (List.map string_of_int l) ^ "]")
+    ~name:"huffman decode . encode = id"
+    (G.list_size (G.int_range 1 80) (G.int_bound 15))
+    (fun symbols ->
+      let freqs = Hashtbl.create 16 in
+      List.iter
+        (fun s -> Hashtbl.replace freqs s (1 + Option.value ~default:0 (Hashtbl.find_opt freqs s)))
+        symbols;
+      let pairs =
+        List.sort compare (Hashtbl.fold (fun s n acc -> (s, n) :: acc) freqs [])
+      in
+      match W.Huffman.build pairs with
+      | None -> false (* non-empty symbol list must build a tree *)
+      | Some tree ->
+        let lengths = W.Huffman.code_lengths tree in
+        let codes = W.Huffman.canonical_codes lengths in
+        W.Huffman.is_prefix_free lengths
+        && W.Huffman.decode codes (W.Huffman.encode codes symbols) = symbols)
+
+(* ------------------------------------------------------------------ *)
+(* LZW dictionary compression                                          *)
+
+let dict_roundtrip () =
+  (* Fixed-interval restarts: decompressing the whole code stream with
+     the restart indices recovered from the independent segments must
+     reproduce the input (the Y-branch legality argument). *)
+  let gen = G.pair (text_gen ~max_len:200 ()) (G.int_range 8 64) in
+  R.run_prop_exn
+    ~print:(fun (s, k) -> Printf.sprintf "interval=%d %s" k (quoted s))
+    ~name:"dict_compress decompress . compress = id" gen
+    (fun (s, k) ->
+      let policy = W.Dict_compress.Fixed_interval k in
+      let whole = W.Dict_compress.compress ~policy s in
+      let segs = W.Dict_compress.compress_segments ~policy s in
+      let restarts_at =
+        (* Code indices where a new dictionary lifetime begins: the
+           running total of the preceding segments' code counts. *)
+        List.tl
+          (List.rev
+             (List.fold_left
+                (fun acc (_, r) ->
+                  match acc with
+                  | prev :: _ -> (prev + List.length r.W.Dict_compress.codes) :: acc
+                  | [] -> assert false)
+                [ 0 ] segs))
+      in
+      W.Dict_compress.decompress ~codes:whole.W.Dict_compress.codes ~restarts_at = s)
+
+let () =
+  Alcotest.run "workloads-prop"
+    [
+      ( "lz77",
+        [
+          Alcotest.test_case "roundtrip both levels" `Quick lz77_roundtrip;
+          Alcotest.test_case "roundtrip bytes, small window" `Quick lz77_roundtrip_bytes;
+        ] );
+      ( "bwt",
+        [
+          Alcotest.test_case "bwt roundtrip" `Quick bwt_roundtrip;
+          Alcotest.test_case "mtf roundtrip" `Quick mtf_roundtrip;
+          Alcotest.test_case "rle roundtrip" `Quick rle_roundtrip;
+          Alcotest.test_case "full chain roundtrip" `Quick bzip2_chain_roundtrip;
+        ] );
+      ( "huffman", [ Alcotest.test_case "canonical roundtrip" `Quick huffman_roundtrip ] );
+      ( "dict", [ Alcotest.test_case "fixed-interval roundtrip" `Quick dict_roundtrip ] );
+    ]
