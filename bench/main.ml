@@ -15,6 +15,9 @@ open Toolkit
 
 let scale = Benchmarks.Study.Medium
 
+(* Span aggregates want wall-clock, not processor time. *)
+let () = Obs.Span.set_clock Unix.gettimeofday
+
 let jobs = Parallel.Pool.default_domains ()
 
 let pool = Parallel.Pool.create ~domains:jobs
@@ -43,7 +46,9 @@ let experiments =
      study_seconds :=
        List.map
          (fun ((e : Core.Experiment.t), dt) ->
-           (e.Core.Experiment.study.Benchmarks.Study.spec_name, dt))
+           let name = e.Core.Experiment.study.Benchmarks.Study.spec_name in
+           Obs.Span.record Obs.Span.default ("study/" ^ name) dt;
+           (name, dt))
          timed;
      List.map fst timed)
 
@@ -390,6 +395,29 @@ let write_bench_json ~total_seconds =
   Printf.fprintf oc "\n  ]\n}\n";
   close_out oc
 
+(* BENCH_summary.{json,csv}: simulator counters/gauges from one
+   instrumented registry run (164.gzip, 16 cores — the paper's headline
+   configuration) plus every wall-clock span aggregate the harness
+   accumulated (per-study experiment times, per-sweep-point simulation
+   times across all pool domains).  Like BENCH_pipeline.json these are
+   files, not stdout, so the printed report stays byte-identical. *)
+let write_obs_summary () =
+  let gzip = study "164.gzip" in
+  let profile = gzip.Benchmarks.Study.run ~scale:Benchmarks.Study.Small in
+  let built = Core.Framework.build ~plan:gzip.Benchmarks.Study.plan profile in
+  let metrics = Obs.Metrics.create ~sampling:true () in
+  List.iter
+    (function
+      | Sim.Input.Serial _ -> ()
+      | Sim.Input.Parallel loop ->
+        ignore
+          (Sim.Pipeline.run_loop (Machine.Config.default ~cores:16) ~metrics loop))
+    built.Core.Framework.input.Sim.Input.segments;
+  let snap = Obs.Metrics.snapshot metrics in
+  let spans = Obs.Span.snapshot Obs.Span.default in
+  Obs.Summary.write_json ~metrics:snap ~spans "BENCH_summary.json";
+  Obs.Summary.write_csv ~metrics:snap ~spans "BENCH_summary.csv"
+
 let () =
   let quick = Array.length Sys.argv > 1 && Sys.argv.(1) = "quick" in
   let t0 = Unix.gettimeofday () in
@@ -412,5 +440,6 @@ let () =
   static_model ();
   if not quick then run_bechamel ();
   write_bench_json ~total_seconds:(Unix.gettimeofday () -. t0);
+  write_obs_summary ();
   Parallel.Pool.shutdown pool;
   Format.printf "@.done.@."

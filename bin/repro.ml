@@ -38,6 +38,29 @@ let with_pool jobs f =
   let domains = if jobs >= 1 then jobs else Parallel.Pool.default_domains () in
   Parallel.Pool.with_pool ~domains f
 
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a Chrome trace_event JSON of the simulated schedule to $(docv) \
+                 (open in chrome://tracing or ui.perfetto.dev): one track per core, \
+                 counter tracks for queue occupancy, instants for commits and \
+                 squashes. When absent, $(b,SIM_TRACE) from the environment is \
+                 used; unset means no trace.")
+
+let trace_file flag = match flag with Some _ -> flag | None -> Sys.getenv_opt "SIM_TRACE"
+
+(* Re-simulate the program with a recording sink and export the Chrome
+   trace.  Simulations are cheap, so tracing is a separate instrumented
+   run rather than a tax on every experiment. *)
+let write_trace ~threads input file =
+  let recorder = Obs.Sink.recorder () in
+  ignore
+    (Sim.Pipeline.run
+       (Machine.Config.default ~cores:threads)
+       ~obs:(Obs.Sink.record recorder) input);
+  Obs.Trace_event.write_file file (Obs.Sink.events recorder);
+  Format.eprintf "trace: %d events written to %s@." (Obs.Sink.count recorder) file
+
 let find_study name =
   match Benchmarks.Registry.find name with
   | Some s -> Ok s
@@ -58,17 +81,23 @@ let list_cmd =
     Term.(const run $ const ())
 
 let run_cmd =
-  let run name scale jobs =
+  let run name scale jobs trace =
     match find_study name with
     | Error e -> Error e
     | Ok study ->
       with_pool jobs (fun pool ->
           let e = Core.Experiment.run ~pool ~scale study in
           Core.Report.diagnostics Format.std_formatter e;
+          (match trace_file trace with
+          | None -> ()
+          | Some file ->
+            (* Trace the paper's headline configuration for this study. *)
+            write_trace ~threads:study.Benchmarks.Study.paper_threads
+              e.Core.Experiment.built.Core.Framework.input file);
           Ok ())
   in
   Cmd.v (Cmd.info "run" ~doc:"Sweep one benchmark across thread counts.")
-    Term.(term_result (const run $ bench_arg $ scale_arg $ jobs_arg))
+    Term.(term_result (const run $ bench_arg $ scale_arg $ jobs_arg $ trace_arg))
 
 let table1_cmd =
   let run () = Core.Report.table1 Format.std_formatter Benchmarks.Registry.all in
@@ -145,7 +174,7 @@ let gantt_cmd =
   let threads_arg =
     Arg.(value & opt int 8 & info [ "t"; "threads" ] ~docv:"N" ~doc:"Machine size.")
   in
-  let run name scale threads =
+  let run name scale threads trace =
     match find_study name with
     | Error e -> Error e
     | Ok study ->
@@ -159,10 +188,13 @@ let gantt_cmd =
             Format.printf "loop %s (span %d):@." loop.Sim.Input.name r.Sim.Pipeline.span;
             Sim.Gantt.pp ~cores:threads Format.std_formatter r)
         built.Core.Framework.input.Sim.Input.segments;
+      (match trace_file trace with
+      | None -> ()
+      | Some file -> write_trace ~threads built.Core.Framework.input file);
       Ok ()
   in
   Cmd.v (Cmd.info "gantt" ~doc:"Render a benchmark's simulated schedule as ASCII Gantt rows.")
-    Term.(term_result (const run $ bench_arg $ scale_arg $ threads_arg))
+    Term.(term_result (const run $ bench_arg $ scale_arg $ threads_arg $ trace_arg))
 
 let chart_cmd =
   let run name scale jobs =

@@ -1,0 +1,69 @@
+type queue = In_queue | Out_queue
+
+type t =
+  | Loop_begin of { time : int; loop : string }
+  | Loop_end of { time : int; loop : string; span : int }
+  | Task_start of {
+      time : int;
+      task : int;
+      core : int;
+      phase : char;
+      iteration : int;
+      work : int;
+    }
+  | Task_finish of { time : int; task : int; core : int }
+  | Task_squash of { time : int; task : int; core : int; elapsed : int }
+  | Iter_commit of { time : int; iteration : int }
+  | Queue_push of { time : int; queue : queue; slot : int; occupancy : int; task : int }
+  | Queue_pop of { time : int; queue : queue; slot : int; occupancy : int; task : int }
+  | Dispatch of { time : int; task : int; slot : int }
+  | Wake of { time : int }
+
+let time = function
+  | Loop_begin e -> e.time
+  | Loop_end e -> e.time
+  | Task_start e -> e.time
+  | Task_finish e -> e.time
+  | Task_squash e -> e.time
+  | Iter_commit e -> e.time
+  | Queue_push e -> e.time
+  | Queue_pop e -> e.time
+  | Dispatch e -> e.time
+  | Wake e -> e.time
+
+let shift d = function
+  | Loop_begin e -> Loop_begin { e with time = e.time + d }
+  | Loop_end e -> Loop_end { e with time = e.time + d }
+  | Task_start e -> Task_start { e with time = e.time + d }
+  | Task_finish e -> Task_finish { e with time = e.time + d }
+  | Task_squash e -> Task_squash { e with time = e.time + d }
+  | Iter_commit e -> Iter_commit { e with time = e.time + d }
+  | Queue_push e -> Queue_push { e with time = e.time + d }
+  | Queue_pop e -> Queue_pop { e with time = e.time + d }
+  | Dispatch e -> Dispatch { e with time = e.time + d }
+  | Wake e -> Wake { time = e.time + d }
+
+let queue_name = function In_queue -> "in" | Out_queue -> "out"
+
+let pp ppf e =
+  match e with
+  | Loop_begin { time; loop } -> Format.fprintf ppf "[%d] loop %s begins" time loop
+  | Loop_end { time; loop; span } ->
+    Format.fprintf ppf "[%d] loop %s ends (span %d)" time loop span
+  | Task_start { time; task; core; phase; iteration; work } ->
+    Format.fprintf ppf "[%d] start %c%d (iteration %d, work %d) on core %d" time phase task
+      iteration work core
+  | Task_finish { time; task; core } ->
+    Format.fprintf ppf "[%d] finish task %d on core %d" time task core
+  | Task_squash { time; task; core; elapsed } ->
+    Format.fprintf ppf "[%d] squash task %d on core %d after %d units" time task core elapsed
+  | Iter_commit { time; iteration } -> Format.fprintf ppf "[%d] commit iteration %d" time iteration
+  | Queue_push { time; queue; slot; occupancy; task } ->
+    Format.fprintf ppf "[%d] %s-queue %d push task %d (occupancy %d)" time (queue_name queue)
+      slot task occupancy
+  | Queue_pop { time; queue; slot; occupancy; task } ->
+    Format.fprintf ppf "[%d] %s-queue %d pop task %d (occupancy %d)" time (queue_name queue)
+      slot task occupancy
+  | Dispatch { time; task; slot } ->
+    Format.fprintf ppf "[%d] dispatch task %d to B slot %d" time task slot
+  | Wake { time } -> Format.fprintf ppf "[%d] wake" time

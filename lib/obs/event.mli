@@ -1,0 +1,41 @@
+(** Structured simulator events.
+
+    Everything the pipeline simulator does that an observer could care
+    about is one of these constructors: task lifecycle (start / finish /
+    squash / commit), queue state changes carrying the occupancy {e
+    after} the operation, dispatch decisions, and scheduler wake-ups.
+    Times are simulated work units; inside a single loop they are
+    loop-local, and {!Sink.offset} rebases them to program time when a
+    whole-program run is traced. *)
+
+type queue = In_queue | Out_queue
+
+type t =
+  | Loop_begin of { time : int; loop : string }
+  | Loop_end of { time : int; loop : string; span : int }
+  | Task_start of {
+      time : int;
+      task : int;
+      core : int;
+      phase : char;  (** ['A' | 'B' | 'C' | 'S'] ('S' = serial fallback) *)
+      iteration : int;
+      work : int;
+    }
+  | Task_finish of { time : int; task : int; core : int }
+  | Task_squash of { time : int; task : int; core : int; elapsed : int }
+      (** [elapsed] is the work the aborted run actually consumed — the
+          only part charged to the core's busy counter. *)
+  | Iter_commit of { time : int; iteration : int }
+  | Queue_push of { time : int; queue : queue; slot : int; occupancy : int; task : int }
+  | Queue_pop of { time : int; queue : queue; slot : int; occupancy : int; task : int }
+  | Dispatch of { time : int; task : int; slot : int }
+  | Wake of { time : int }
+
+val time : t -> int
+
+val shift : int -> t -> t
+(** [shift d e] adds [d] to [e]'s timestamp (program-time rebasing). *)
+
+val queue_name : queue -> string
+
+val pp : Format.formatter -> t -> unit

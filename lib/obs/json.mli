@@ -1,0 +1,26 @@
+(** Minimal JSON: enough to emit the trace/summary files and to parse
+    them back for validation — no external dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering with proper string escaping. *)
+
+val parse : string -> (t, string) result
+(** Full-input parse; [Error] carries a byte position and reason. *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] elsewhere. *)
+
+val to_list : t -> t list option
+
+val to_int : t -> int option
+
+val to_str : t -> string option

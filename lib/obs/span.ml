@@ -1,0 +1,60 @@
+type agg = { mutable count : int; mutable total : float; mutable max_s : float }
+
+type t = { lock : Mutex.t; spans : (string, agg) Hashtbl.t }
+
+(* [Sys.time] (processor time) is the only clock the stdlib offers; the
+   harness binaries install [Unix.gettimeofday] at startup for real
+   wall-clock spans without making this library depend on unix. *)
+let clock : (unit -> float) ref = ref Sys.time
+
+let set_clock f = clock := f
+
+let create () = { lock = Mutex.create (); spans = Hashtbl.create 32 }
+
+let default = create ()
+
+let record t name seconds =
+  Mutex.lock t.lock;
+  (match Hashtbl.find_opt t.spans name with
+  | Some a ->
+    a.count <- a.count + 1;
+    a.total <- a.total +. seconds;
+    if seconds > a.max_s then a.max_s <- seconds
+  | None -> Hashtbl.add t.spans name { count = 1; total = seconds; max_s = seconds });
+  Mutex.unlock t.lock
+
+let time ?(registry = default) name f =
+  let t0 = !clock () in
+  Fun.protect ~finally:(fun () -> record registry name (!clock () -. t0)) f
+
+type row = { name : string; count : int; total_s : float; mean_s : float; max_span_s : float }
+
+let snapshot t =
+  Mutex.lock t.lock;
+  let rows =
+    Hashtbl.fold
+      (fun name (a : agg) acc ->
+        {
+          name;
+          count = a.count;
+          total_s = a.total;
+          mean_s = (if a.count = 0 then 0.0 else a.total /. float_of_int a.count);
+          max_span_s = a.max_s;
+        }
+        :: acc)
+      t.spans []
+  in
+  Mutex.unlock t.lock;
+  List.sort (fun a b -> compare a.name b.name) rows
+
+let reset t =
+  Mutex.lock t.lock;
+  Hashtbl.reset t.spans;
+  Mutex.unlock t.lock
+
+let pp ppf t =
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-40s %6d calls  total %8.3fs  mean %8.4fs  max %8.4fs@." r.name
+        r.count r.total_s r.mean_s r.max_span_s)
+    (snapshot t)

@@ -1,0 +1,36 @@
+(** Wall-clock span timing for harness phases.
+
+    [time ~registry "study/164.gzip" f] measures [f] and folds the
+    elapsed seconds into the named aggregate (count / total / mean /
+    max).  Registries are mutex-protected, so spans measured inside
+    [Parallel.Pool] workers on different domains aggregate correctly;
+    the shared {!default} registry is what the bench harness snapshots
+    into its summary files. *)
+
+type t
+
+val create : unit -> t
+
+val default : t
+(** Process-wide registry used when [?registry] is omitted. *)
+
+val set_clock : (unit -> float) -> unit
+(** Install the time source.  Defaults to [Sys.time] (processor time);
+    binaries that link unix should install [Unix.gettimeofday] for true
+    wall-clock spans.  Affects all registries. *)
+
+val time : ?registry:t -> string -> (unit -> 'a) -> 'a
+(** Run the thunk, record its duration under the name (even if it
+    raises). *)
+
+val record : t -> string -> float -> unit
+(** Fold an externally measured duration (seconds) into an aggregate. *)
+
+type row = { name : string; count : int; total_s : float; mean_s : float; max_span_s : float }
+
+val snapshot : t -> row list
+(** Name-sorted aggregates. *)
+
+val reset : t -> unit
+
+val pp : Format.formatter -> t -> unit

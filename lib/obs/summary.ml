@@ -1,0 +1,76 @@
+let metrics_json (s : Metrics.snapshot) =
+  Json.Obj
+    [
+      ("counters", Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) s.Metrics.snap_counters));
+      ( "gauges",
+        Json.Obj
+          (List.map
+             (fun (n, (v, h)) ->
+               (n, Json.Obj [ ("value", Json.Int v); ("high_water", Json.Int h) ]))
+             s.Metrics.snap_gauges) );
+      ( "series",
+        Json.Obj
+          (List.map
+             (fun (n, pts) ->
+               ( n,
+                 Json.Arr
+                   (List.map (fun (t, v) -> Json.Arr [ Json.Int t; Json.Int v ]) pts) ))
+             s.Metrics.snap_series) );
+    ]
+
+let span_json (r : Span.row) =
+  Json.Obj
+    [
+      ("name", Json.Str r.Span.name);
+      ("count", Json.Int r.Span.count);
+      ("total_seconds", Json.Float r.Span.total_s);
+      ("mean_seconds", Json.Float r.Span.mean_s);
+      ("max_seconds", Json.Float r.Span.max_span_s);
+    ]
+
+let to_json ?metrics ?(spans = []) () =
+  let fields = [ ("spans", Json.Arr (List.map span_json spans)) ] in
+  let fields =
+    match metrics with Some m -> ("metrics", metrics_json m) :: fields | None -> fields
+  in
+  Json.Obj fields
+
+(* CSV: one flat table, a [kind] discriminator column, empty cells where
+   a column does not apply to the row's kind. *)
+let csv_header = "kind,name,value,high_water,count,total_seconds,mean_seconds,max_seconds"
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv ?metrics ?(spans = []) () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf csv_header;
+  Buffer.add_char buf '\n';
+  (match metrics with
+  | None -> ()
+  | Some (s : Metrics.snapshot) ->
+    List.iter
+      (fun (n, v) -> Buffer.add_string buf (Printf.sprintf "counter,%s,%d,,,,,\n" (csv_escape n) v))
+      s.Metrics.snap_counters;
+    List.iter
+      (fun (n, (v, h)) ->
+        Buffer.add_string buf (Printf.sprintf "gauge,%s,%d,%d,,,,\n" (csv_escape n) v h))
+      s.Metrics.snap_gauges);
+  List.iter
+    (fun (r : Span.row) ->
+      Buffer.add_string buf
+        (Printf.sprintf "span,%s,,,%d,%.6f,%.6f,%.6f\n" (csv_escape r.Span.name) r.Span.count
+           r.Span.total_s r.Span.mean_s r.Span.max_span_s))
+    spans;
+  Buffer.contents buf
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+
+let write_json ?metrics ?spans path =
+  write_file path (Json.to_string (to_json ?metrics ?spans ()) ^ "\n")
+
+let write_csv ?metrics ?spans path = write_file path (to_csv ?metrics ?spans ())

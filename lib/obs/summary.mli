@@ -1,0 +1,21 @@
+(** Machine-readable summaries: metrics snapshots and span aggregates
+    as JSON or a flat CSV table.  The bench harness writes both next to
+    [BENCH_pipeline.json]; any run can dump its own. *)
+
+val metrics_json : Metrics.snapshot -> Json.t
+
+val span_json : Span.row -> Json.t
+
+val to_json : ?metrics:Metrics.snapshot -> ?spans:Span.row list -> unit -> Json.t
+
+val csv_header : string
+
+val to_csv : ?metrics:Metrics.snapshot -> ?spans:Span.row list -> unit -> string
+(** Flat table: [kind,name,value,high_water,count,total_seconds,
+    mean_seconds,max_seconds]; cells a kind lacks stay empty. *)
+
+val write_file : string -> string -> unit
+
+val write_json : ?metrics:Metrics.snapshot -> ?spans:Span.row list -> string -> unit
+
+val write_csv : ?metrics:Metrics.snapshot -> ?spans:Span.row list -> string -> unit

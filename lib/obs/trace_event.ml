@@ -1,0 +1,157 @@
+(* Chrome trace_event JSON ("JSON Object Format": {"traceEvents": [...]}).
+   Open the file in chrome://tracing or https://ui.perfetto.dev.
+
+   Mapping:
+   - one thread track per simulated core, named "core N"; every task
+     execution is a complete ("X") slice, squashed runs as truncated
+     slices named with a "!squash" suffix;
+   - one counter ("C") track per queue slot ("in-queue N" /
+     "out-queue N") sampled at every push/pop with the occupancy after
+     the operation;
+   - commits, dispatches and wakes are instant ("i") events;
+   - loops appear as slices on a synthetic "program" track one past the
+     last core, so a whole-program trace shows the loop structure.
+
+   Simulated work units are written 1:1 as microseconds. *)
+
+type open_slice = { o_start : int; o_core : int; o_phase : char; o_iteration : int }
+
+let slice_name phase task iteration = Printf.sprintf "%c%d/i%d" phase task iteration
+
+let export ?(process_name = "sim") events =
+  let pid = 0 in
+  let max_core = ref 0 in
+  List.iter
+    (function
+      | Event.Task_start { core; _ } | Event.Task_finish { core; _ } | Event.Task_squash { core; _ }
+        ->
+        if core > !max_core then max_core := core
+      | _ -> ())
+    events;
+  let program_tid = !max_core + 1 in
+  let open_tasks : (int, open_slice) Hashtbl.t = Hashtbl.create 64 in
+  let open_loops : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let cores_seen : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let rev = ref [] in
+  let push e = rev := e :: !rev in
+  let common ~name ~ph ~ts ~tid rest =
+    Json.Obj
+      ((("name", Json.Str name) :: ("ph", Json.Str ph) :: ("ts", Json.Int ts)
+        :: ("pid", Json.Int pid) :: ("tid", Json.Int tid) :: rest))
+  in
+  let counter ~name ~ts v =
+    Json.Obj
+      [
+        ("name", Json.Str name);
+        ("ph", Json.Str "C");
+        ("ts", Json.Int ts);
+        ("pid", Json.Int pid);
+        ("args", Json.Obj [ ("occupancy", Json.Int v) ]);
+      ]
+  in
+  let slice ~name ~ts ~dur ~tid args =
+    common ~name ~ph:"X" ~ts ~tid [ ("dur", Json.Int dur); ("args", Json.Obj args) ]
+  in
+  let instant ~name ~ts ~tid args =
+    common ~name ~ph:"i" ~ts ~tid [ ("s", Json.Str "t"); ("args", Json.Obj args) ]
+  in
+  let queue_track q slot = Printf.sprintf "%s-queue %d" (Event.queue_name q) slot in
+  let last_time = ref 0 in
+  List.iter
+    (fun e ->
+      if Event.time e > !last_time then last_time := Event.time e;
+      match e with
+      | Event.Loop_begin { time; loop } -> Hashtbl.replace open_loops loop time
+      | Event.Loop_end { time; loop; span } ->
+        let start = match Hashtbl.find_opt open_loops loop with Some t -> t | None -> time - span in
+        Hashtbl.remove open_loops loop;
+        push
+          (slice ~name:("loop " ^ loop) ~ts:start ~dur:(time - start) ~tid:program_tid
+             [ ("span", Json.Int span) ])
+      | Event.Task_start { time; task; core; phase; iteration; work } ->
+        Hashtbl.replace cores_seen core ();
+        Hashtbl.replace open_tasks task
+          { o_start = time; o_core = core; o_phase = phase; o_iteration = iteration };
+        ignore work
+      | Event.Task_finish { time; task; core } -> (
+        match Hashtbl.find_opt open_tasks task with
+        | None -> ()
+        | Some o ->
+          Hashtbl.remove open_tasks task;
+          push
+            (slice
+               ~name:(slice_name o.o_phase task o.o_iteration)
+               ~ts:o.o_start ~dur:(time - o.o_start) ~tid:core
+               [ ("task", Json.Int task); ("iteration", Json.Int o.o_iteration) ]))
+      | Event.Task_squash { time; task; core; elapsed } ->
+        (match Hashtbl.find_opt open_tasks task with
+        | None -> ()
+        | Some o ->
+          Hashtbl.remove open_tasks task;
+          push
+            (slice
+               ~name:(slice_name o.o_phase task o.o_iteration ^ "!squash")
+               ~ts:o.o_start ~dur:elapsed ~tid:core
+               [ ("task", Json.Int task); ("squashed", Json.Bool true) ]));
+        push (instant ~name:(Printf.sprintf "squash %d" task) ~ts:time ~tid:core [])
+      | Event.Iter_commit { time; iteration } ->
+        push
+          (instant ~name:(Printf.sprintf "commit i%d" iteration) ~ts:time ~tid:program_tid
+             [ ("iteration", Json.Int iteration) ])
+      | Event.Queue_push { time; queue; slot; occupancy; task = _ }
+      | Event.Queue_pop { time; queue; slot; occupancy; task = _ } ->
+        push (counter ~name:(queue_track queue slot) ~ts:time occupancy)
+      | Event.Dispatch { time; task; slot } ->
+        push
+          (instant ~name:(Printf.sprintf "dispatch %d->slot %d" task slot) ~ts:time
+             ~tid:program_tid
+             [ ("task", Json.Int task); ("slot", Json.Int slot) ])
+      | Event.Wake { time } -> push (instant ~name:"wake" ~ts:time ~tid:program_tid []))
+    events;
+  (* Close any slice left open (a deadlocked or truncated recording). *)
+  Hashtbl.iter
+    (fun task o ->
+      push
+        (slice
+           ~name:(slice_name o.o_phase task o.o_iteration ^ "!open")
+           ~ts:o.o_start
+           ~dur:(max 0 (!last_time - o.o_start))
+           ~tid:o.o_core
+           [ ("task", Json.Int task) ]))
+    open_tasks;
+  let thread_meta tid name =
+    Json.Obj
+      [
+        ("name", Json.Str "thread_name");
+        ("ph", Json.Str "M");
+        ("pid", Json.Int pid);
+        ("tid", Json.Int tid);
+        ("args", Json.Obj [ ("name", Json.Str name) ]);
+      ]
+  in
+  let metadata =
+    Json.Obj
+      [
+        ("name", Json.Str "process_name");
+        ("ph", Json.Str "M");
+        ("pid", Json.Int pid);
+        ("args", Json.Obj [ ("name", Json.Str process_name) ]);
+      ]
+    :: thread_meta program_tid "program"
+    :: (Hashtbl.fold (fun c () acc -> c :: acc) cores_seen []
+       |> List.sort compare
+       |> List.map (fun c -> thread_meta c (Printf.sprintf "core %d" c)))
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.Arr (metadata @ List.rev !rev));
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
+let to_string ?process_name events = Json.to_string (export ?process_name events)
+
+let write_file ?process_name path events =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ?process_name events))

@@ -1,0 +1,15 @@
+(** Chrome [trace_event] exporter.
+
+    Converts a recorded event stream into the JSON Object Format that
+    [chrome://tracing] and Perfetto load: one thread track per core
+    (task executions as complete slices, squashed runs truncated and
+    marked), one counter track per queue slot sampled with occupancy at
+    every push/pop, instants for commits/dispatches/wakes, and loop
+    slices on a synthetic "program" track.  Simulated work units map
+    1:1 to trace microseconds. *)
+
+val export : ?process_name:string -> Event.t list -> Json.t
+
+val to_string : ?process_name:string -> Event.t list -> string
+
+val write_file : ?process_name:string -> string -> Event.t list -> unit

@@ -6,13 +6,22 @@ let render ?(width = 78) ~cores ~span entries =
   let cell t = min (width - 1) (t * width / span) in
   List.iter
     (fun (e : Pipeline.sched_entry) ->
-      if e.Pipeline.s_core >= 0 && e.Pipeline.s_core < cores then begin
-        let lo = cell e.Pipeline.s_start in
-        let hi = max lo (cell (max e.Pipeline.s_start (e.Pipeline.s_finish - 1))) in
-        for x = lo to hi do
-          Bytes.set rows.(e.Pipeline.s_core) x (glyph e.Pipeline.s_task)
-        done
-      end)
+      if e.Pipeline.s_core >= 0 && e.Pipeline.s_core < cores then
+        if e.Pipeline.s_finish = e.Pipeline.s_start then begin
+          (* Zero-work task: it occupies no time, so a filled cell would
+             misrepresent the schedule.  Mark the instant instead, without
+             overwriting a real task drawn there. *)
+          let x = cell e.Pipeline.s_start in
+          if Bytes.get rows.(e.Pipeline.s_core) x = '.' then
+            Bytes.set rows.(e.Pipeline.s_core) x '\''
+        end
+        else begin
+          let lo = cell e.Pipeline.s_start in
+          let hi = max lo (cell (e.Pipeline.s_finish - 1)) in
+          for x = lo to hi do
+            Bytes.set rows.(e.Pipeline.s_core) x (glyph e.Pipeline.s_task)
+          done
+        end)
     entries;
   let buf = Buffer.create (cores * (width + 12)) in
   Array.iteri

@@ -227,8 +227,14 @@ let check_speculation_accounting (cfg : Machine.Config.t) (policy : Sched.policy
 
 let check_queue_bounds (cfg : Machine.Config.t) (loop : Input.loop) (r : Sched.loop_result) =
   let cap = cfg.Machine.Config.queue_capacity in
-  if r.Sched.in_queue_high_water < 0 || r.Sched.in_queue_high_water > cap then
-    fail "queue-bounds" "in-queue high water %d outside [0, %d]" r.Sched.in_queue_high_water cap;
+  (* A squash re-inserts the task at the head of its in-queue without
+     re-running the capacity check (it reclaims the slot it issued from),
+     so each squash can push occupancy at most one past the bound; fresh
+     dispatches from phase A always respect it. *)
+  let in_cap = if r.Sched.squashes > 0 then cap + r.Sched.squashes else cap in
+  if r.Sched.in_queue_high_water < 0 || r.Sched.in_queue_high_water > in_cap then
+    fail "queue-bounds" "in-queue high water %d outside [0, %d]" r.Sched.in_queue_high_water
+      in_cap;
   if r.Sched.out_queue_high_water < 0 || r.Sched.out_queue_high_water > cap then
     fail "queue-bounds" "out-queue high water %d outside [0, %d]" r.Sched.out_queue_high_water
       cap;
@@ -266,7 +272,14 @@ let check_busy (cfg : Machine.Config.t) (loop : Input.loop) (r : Sched.loop_resu
     end
     else if r.Sched.busy.(c) < per_core.(c) then
       fail "busy-conservation" "core %d busy %d below its final intervals' sum %d" c
-        r.Sched.busy.(c) per_core.(c)
+        r.Sched.busy.(c) per_core.(c);
+    (* Busy charges only time a core actually spent occupied (aborted runs
+       count their elapsed portion, not their full work), and a core is
+       occupied by at most one task at a time, so busy can never exceed
+       the loop's span. *)
+    if r.Sched.busy.(c) > r.Sched.span then
+      fail "busy-conservation" "core %d busy %d exceeds span %d" c r.Sched.busy.(c)
+        r.Sched.span
   done;
   let total = Array.fold_left ( + ) 0 r.Sched.busy in
   let work = Input.loop_work loop in

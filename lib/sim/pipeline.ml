@@ -45,14 +45,31 @@ type a_state = ARun of int | ADispatch of int * int list | ADone
 
 type event = Finish of int * int  (* task id, generation *) | Wake
 
-let sequential_result cfg (loop : Input.loop) =
+let phase_letter = function Ir.Task.A -> 'A' | Ir.Task.B -> 'B' | Ir.Task.C -> 'C'
+
+let sequential_result cfg ?(obs = Obs.Sink.null) (loop : Input.loop) =
   let w = Input.loop_work loop in
   let busy = Array.make cfg.Machine.Config.cores 0 in
   busy.(0) <- w;
+  let observing = Obs.Sink.enabled obs in
   let _, schedule =
     Array.fold_left
       (fun (t, acc) (task : Ir.Task.t) ->
         let f = t + task.Ir.Task.work in
+        if observing then begin
+          Obs.Sink.emit obs
+            (Obs.Event.Task_start
+               {
+                 time = t;
+                 task = task.Ir.Task.id;
+                 core = 0;
+                 phase = phase_letter task.Ir.Task.phase;
+                 iteration = task.Ir.Task.iteration;
+                 work = task.Ir.Task.work;
+               });
+          Obs.Sink.emit obs
+            (Obs.Event.Task_finish { time = f; task = task.Ir.Task.id; core = 0 })
+        end;
         (f, { s_task = task.Ir.Task.id; s_core = 0; s_start = t; s_finish = f } :: acc))
       (0, []) loop.Input.tasks
   in
@@ -120,10 +137,11 @@ let iter_views loop =
     Mutex.unlock views_lock;
     v
 
-let simulate_loop (cfg : Machine.Config.t) ?(policy = default_policy) (loop : Input.loop) =
+let simulate_loop (cfg : Machine.Config.t) ?(policy = default_policy)
+    ?(obs = Obs.Sink.null) ?metrics (loop : Input.loop) =
   let n = cfg.Machine.Config.cores in
   let ntasks = Array.length loop.Input.tasks in
-  if n <= 1 || ntasks = 0 then sequential_result cfg loop
+  if n <= 1 || ntasks = 0 then sequential_result cfg ~obs loop
   else begin
     let assignment =
       match Dswp.Planner.plan cfg with
@@ -165,7 +183,30 @@ let simulate_loop (cfg : Machine.Config.t) ?(policy = default_policy) (loop : In
     let enq_work = Array.make m 0 in
     let b_running = Array.make m None in
     let b_done_count = Array.make m 0 in
-    let in_hw = ref 0 and out_hw = ref 0 in
+    (* Metrics registry: the run's counters/gauges live here instead of
+       ad-hoc refs, so an exporter can snapshot them by name.  Handles
+       are bound once; bumping one is a mutable-field write, no lookup
+       in the hot path. *)
+    let metrics = match metrics with Some mx -> mx | None -> Obs.Metrics.create () in
+    let misspec_delayed = Obs.Metrics.counter metrics "misspec_delayed" in
+    let squash_count = Obs.Metrics.counter metrics "squashes" in
+    let busy_a = Obs.Metrics.counter metrics "busy/A" in
+    let busy_b = Obs.Metrics.counter metrics "busy/B" in
+    let busy_c = Obs.Metrics.counter metrics "busy/C" in
+    let busy_of_phase tid =
+      match phase tid with Ir.Task.A -> busy_a | Ir.Task.B -> busy_b | Ir.Task.C -> busy_c
+    in
+    let in_gauge = Obs.Metrics.gauge metrics "in_queue_occupancy" in
+    let out_gauge = Obs.Metrics.gauge metrics "out_queue_occupancy" in
+    let occ_series =
+      if Obs.Metrics.sampling metrics then
+        Some
+          ( Array.init m (fun s -> Obs.Metrics.series metrics (Printf.sprintf "in_queue/%d" s)),
+            Array.init m (fun s -> Obs.Metrics.series metrics (Printf.sprintf "out_queue/%d" s))
+          )
+      else None
+    in
+    let observing = Obs.Sink.enabled obs in
     let a_running = ref None in
     let c_running = ref false in
     let a_state = ref (if iters = 0 then ADone else ARun 0) in
@@ -173,8 +214,6 @@ let simulate_loop (cfg : Machine.Config.t) ?(policy = default_policy) (loop : In
     let committed = Array.make iters false in
     let c_next = ref 0 in
     let busy = Array.make n 0 in
-    let misspec_delayed = ref 0 in
-    let squashes = ref 0 in
     let sched_rev = ref [] in
     let physical_core tid =
       match phase tid with
@@ -194,6 +233,21 @@ let simulate_loop (cfg : Machine.Config.t) ?(policy = default_policy) (loop : In
     in
     let events : event Simcore.Heap.t = Simcore.Heap.create () in
     let now = ref 0 in
+    (* Occupancy bookkeeping: the gauges carry the high-water marks the
+       result reports; series (when sampling) and queue events (when a
+       sink listens) ride along on the same call. *)
+    let note_in_occ slot =
+      Obs.Metrics.observe in_gauge in_occ.(slot);
+      match occ_series with
+      | Some (in_s, _) -> Obs.Metrics.sample in_s.(slot) ~time:!now in_occ.(slot)
+      | None -> ()
+    in
+    let note_out_occ slot =
+      Obs.Metrics.observe out_gauge out_occ.(slot);
+      match occ_series with
+      | Some (_, out_s) -> Obs.Metrics.sample out_s.(slot) ~time:!now out_occ.(slot)
+      | None -> ()
+    in
     let push_finish tid =
       Simcore.Heap.add events ~prio:finish_time.(tid) (Finish (tid, generation.(tid)))
     in
@@ -249,32 +303,88 @@ let simulate_loop (cfg : Machine.Config.t) ?(policy = default_policy) (loop : In
       start_time.(tid) <- t;
       finish_time.(tid) <- t + work tid;
       busy.(core) <- busy.(core) + work tid;
+      Obs.Metrics.add (busy_of_phase tid) (work tid);
+      if observing then
+        Obs.Sink.emit obs
+          (Obs.Event.Task_start
+             {
+               time = t;
+               task = tid;
+               core;
+               phase = phase_letter (phase tid);
+               iteration = iteration tid;
+               work = work tid;
+             });
       push_finish tid
     in
     (* Squash a task (and transitively any started consumer of it). *)
     let rec squash tid =
       if start_time.(tid) >= 0 && not committed.(iteration tid) then begin
-        incr squashes;
+        Obs.Metrics.incr squash_count;
         generation.(tid) <- generation.(tid) + 1;
         List.iter (fun (e : Input.edge) -> squash e.Input.dst) out_edges.(tid);
         (match phase tid with
         | Ir.Task.B ->
           let slot = assigned_core.(tid) in
+          let core = b_cores.(slot) in
           (match b_running.(slot) with
           | Some r when r = tid ->
+            (* Aborted mid-run: the core only spent [!now - start] on the
+               doomed attempt.  start_task charged the full work up
+               front, so roll back the not-yet-executed remainder —
+               otherwise per-core busy (charged again on the re-run)
+               would exceed the span. *)
+            let elapsed = !now - start_time.(tid) in
+            busy.(core) <- busy.(core) - (work tid - elapsed);
+            Obs.Metrics.add (busy_of_phase tid) (-(work tid - elapsed));
+            if observing then
+              Obs.Sink.emit obs
+                (Obs.Event.Task_squash { time = !now; task = tid; core; elapsed });
             b_running.(slot) <- None;
-            core_free.(b_cores.(slot)) <- !now
+            core_free.(core) <- !now
           | _ ->
-            (* Already finished: withdraw its out-queue entry and put its
-               work back into the outstanding-work metric (a running task
-               never left it). *)
+            (* Already finished: the whole run was executed (its full
+               work stays in busy as genuine waste); withdraw its
+               out-queue entry and put its work back into the
+               outstanding-work metric (a running task never left it). *)
             if completed.(tid) then begin
               out_occ.(slot) <- out_occ.(slot) - 1;
-              enq_work.(slot) <- enq_work.(slot) + work tid
+              note_out_occ slot;
+              enq_work.(slot) <- enq_work.(slot) + work tid;
+              if observing then begin
+                Obs.Sink.emit obs
+                  (Obs.Event.Queue_pop
+                     {
+                       time = !now;
+                       queue = Obs.Event.Out_queue;
+                       slot;
+                       occupancy = out_occ.(slot);
+                       task = tid;
+                     });
+                Obs.Sink.emit obs
+                  (Obs.Event.Task_squash { time = !now; task = tid; core; elapsed = work tid })
+              end
             end);
-          (* Back to the head of its in-queue for re-execution. *)
+          (* Back to the head of its in-queue for re-execution.  The
+             re-insert may push occupancy past queue_capacity for a
+             moment — the squashed task reclaims the slot the capacity
+             check released when it issued; only fresh dispatches from A
+             respect the bound.  The high-water mark must see it (the
+             oracle allows up to capacity + squashes when re-execution
+             happened). *)
           Simcore.Deque.push_front fifo.(slot) tid;
-          in_occ.(slot) <- in_occ.(slot) + 1
+          in_occ.(slot) <- in_occ.(slot) + 1;
+          note_in_occ slot;
+          if observing then
+            Obs.Sink.emit obs
+              (Obs.Event.Queue_push
+                 {
+                   time = !now;
+                   queue = Obs.Event.In_queue;
+                   slot;
+                   occupancy = in_occ.(slot);
+                   task = tid;
+                 })
         | Ir.Task.A | Ir.Task.C ->
           (* A and C run non-speculatively in this plan; they are never
              consumers of speculated edges under Squash. *)
@@ -314,19 +424,40 @@ let simulate_loop (cfg : Machine.Config.t) ?(policy = default_policy) (loop : In
             end
             else begin
               (* Commit iteration i: consume the out-queue entries. *)
-              List.iter (fun b -> out_occ.(assigned_core.(b)) <- out_occ.(assigned_core.(b)) - 1) v.bs;
+              List.iter
+                (fun b ->
+                  let slot = assigned_core.(b) in
+                  out_occ.(slot) <- out_occ.(slot) - 1;
+                  note_out_occ slot;
+                  if observing then
+                    Obs.Sink.emit obs
+                      (Obs.Event.Queue_pop
+                         {
+                           time = !now;
+                           queue = Obs.Event.Out_queue;
+                           slot;
+                           occupancy = out_occ.(slot);
+                           task = b;
+                         }))
+                v.bs;
               committed.(i) <- true;
+              if observing then
+                Obs.Sink.emit obs (Obs.Event.Iter_commit { time = !now; iteration = i });
               incr c_next;
               (match v.c with
               | None -> ()
               | Some c_tid ->
-                if t > t_nonspec then incr misspec_delayed;
+                if t > t_nonspec then Obs.Metrics.incr misspec_delayed;
                 start_task c_tid assignment.Dswp.Planner.c_core !now;
                 core_free.(assignment.Dswp.Planner.c_core) <- finish_time.(c_tid);
                 if work c_tid > 0 then c_running := true
                 else begin
                   completed.(c_tid) <- true;
-                  record_completion c_tid
+                  record_completion c_tid;
+                  if observing then
+                    Obs.Sink.emit obs
+                      (Obs.Event.Task_finish
+                         { time = !now; task = c_tid; core = assignment.Dswp.Planner.c_core })
                 end);
               true
             end)
@@ -358,9 +489,20 @@ let simulate_loop (cfg : Machine.Config.t) ?(policy = default_policy) (loop : In
                 else begin
                   ignore (Simcore.Deque.pop_front fifo.(slot));
                   in_occ.(slot) <- in_occ.(slot) - 1;
+                  note_in_occ slot;
+                  if observing then
+                    Obs.Sink.emit obs
+                      (Obs.Event.Queue_pop
+                         {
+                           time = !now;
+                           queue = Obs.Event.In_queue;
+                           slot;
+                           occupancy = in_occ.(slot);
+                           task = tid;
+                         });
                   (* enq_work keeps counting the running task until it
                      finishes: dispatch balances on outstanding work. *)
-                  if t > t_nonspec then incr misspec_delayed;
+                  if t > t_nonspec then Obs.Metrics.incr misspec_delayed;
                   start_task tid b_cores.(slot) !now;
                   core_free.(b_cores.(slot)) <- finish_time.(tid);
                   b_running.(slot) <- Some tid;
@@ -383,10 +525,22 @@ let simulate_loop (cfg : Machine.Config.t) ?(policy = default_policy) (loop : In
           | s ->
             Simcore.Deque.push_back fifo.(s) b;
             in_occ.(s) <- in_occ.(s) + 1;
-            if in_occ.(s) > !in_hw then in_hw := in_occ.(s);
+            note_in_occ s;
             enq_work.(s) <- enq_work.(s) + work b;
             assigned_core.(b) <- s;
             arrival.(b) <- !now + lat;
+            if observing then begin
+              Obs.Sink.emit obs (Obs.Event.Dispatch { time = !now; task = b; slot = s });
+              Obs.Sink.emit obs
+                (Obs.Event.Queue_push
+                   {
+                     time = !now;
+                     queue = Obs.Event.In_queue;
+                     slot = s;
+                     occupancy = in_occ.(s);
+                     task = b;
+                   })
+            end;
             moved := true;
             go rest)
       in
@@ -424,7 +578,7 @@ let simulate_loop (cfg : Machine.Config.t) ?(policy = default_policy) (loop : In
                 false
               end
               else begin
-                if t > t_nonspec then incr misspec_delayed;
+                if t > t_nonspec then Obs.Metrics.incr misspec_delayed;
                 start_task tid assignment.Dswp.Planner.a_core !now;
                 core_free.(assignment.Dswp.Planner.a_core) <- finish_time.(tid);
                 a_running := Some tid;
@@ -451,11 +605,14 @@ let simulate_loop (cfg : Machine.Config.t) ?(policy = default_policy) (loop : In
         now := max !now t;
         Hashtbl.remove pending_wakes t;
         (match ev with
-        | Wake -> ()
+        | Wake -> if observing then Obs.Sink.emit obs (Obs.Event.Wake { time = !now })
         | Finish (tid, gen) ->
           if gen = generation.(tid) && start_time.(tid) >= 0 && not completed.(tid) then begin
             completed.(tid) <- true;
             record_completion tid;
+            if observing then
+              Obs.Sink.emit obs
+                (Obs.Event.Task_finish { time = !now; task = tid; core = physical_core tid });
             (match phase tid with
             | Ir.Task.A ->
               a_running := None;
@@ -470,7 +627,17 @@ let simulate_loop (cfg : Machine.Config.t) ?(policy = default_policy) (loop : In
               enq_work.(slot) <- enq_work.(slot) - work tid;
               b_done_count.(slot) <- b_done_count.(slot) + 1;
               out_occ.(slot) <- out_occ.(slot) + 1;
-              if out_occ.(slot) > !out_hw then out_hw := out_occ.(slot)
+              note_out_occ slot;
+              if observing then
+                Obs.Sink.emit obs
+                  (Obs.Event.Queue_push
+                     {
+                       time = !now;
+                       queue = Obs.Event.Out_queue;
+                       slot;
+                       occupancy = out_occ.(slot);
+                       task = tid;
+                     })
             | Ir.Task.C -> c_running := false);
             (* Under Squash, a finishing producer invalidates consumers
                that started too early on a speculated edge. *)
@@ -510,22 +677,23 @@ let simulate_loop (cfg : Machine.Config.t) ?(policy = default_policy) (loop : In
     {
       span;
       busy;
-      misspec_delayed = !misspec_delayed;
-      squashes = !squashes;
-      in_queue_high_water = !in_hw;
-      out_queue_high_water = !out_hw;
+      misspec_delayed = Obs.Metrics.value misspec_delayed;
+      squashes = Obs.Metrics.value squash_count;
+      in_queue_high_water = Obs.Metrics.high_water in_gauge;
+      out_queue_high_water = Obs.Metrics.high_water out_gauge;
       b_tasks_per_core = b_done_count;
       schedule;
     }
   end
 
-let run_loop (cfg : Machine.Config.t) ?(policy = default_policy) ?validate (loop : Input.loop) =
-  let r = simulate_loop cfg ~policy loop in
+let run_loop (cfg : Machine.Config.t) ?(policy = default_policy) ?validate ?obs ?metrics
+    (loop : Input.loop) =
+  let r = simulate_loop cfg ~policy ?obs ?metrics loop in
   let validate = match validate with Some v -> v | None -> !validate_default in
   if validate then Oracle.validate_exn cfg ~policy loop r;
   r
 
-let run cfg ?(policy = default_policy) ?validate (input : Input.t) =
+let run cfg ?(policy = default_policy) ?validate ?(obs = Obs.Sink.null) (input : Input.t) =
   let seq = Input.total_work input in
   let loops = ref [] in
   let total =
@@ -534,7 +702,16 @@ let run cfg ?(policy = default_policy) ?validate (input : Input.t) =
         match seg with
         | Input.Serial w -> acc + w
         | Input.Parallel loop ->
-          let r = run_loop cfg ~policy ?validate loop in
+          (* Rebase the loop's local event times to program time, and
+             bracket them so a whole-program trace shows the loop
+             structure. *)
+          let loop_obs = Obs.Sink.offset acc obs in
+          if Obs.Sink.enabled loop_obs then
+            Obs.Sink.emit loop_obs (Obs.Event.Loop_begin { time = 0; loop = loop.Input.name });
+          let r = run_loop cfg ~policy ?validate ~obs:loop_obs loop in
+          if Obs.Sink.enabled loop_obs then
+            Obs.Sink.emit loop_obs
+              (Obs.Event.Loop_end { time = r.span; loop = loop.Input.name; span = r.span });
           loops := (loop.Input.name, r) :: !loops;
           acc + r.span)
       0 input.Input.segments

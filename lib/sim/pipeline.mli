@@ -36,10 +36,20 @@ type sched_entry = Sched.sched_entry = {
 
 type loop_result = Sched.loop_result = {
   span : int;  (** parallel execution time of the loop *)
-  busy : int array;  (** per-core busy work units (includes squashed work) *)
+  busy : int array;
+      (** per-core busy work units.  Includes squashed work, charged at
+          what the core actually spent: a run aborted mid-flight counts
+          only its elapsed time, a completed-then-squashed run counts in
+          full — so [busy.(c) <= span] for every core under every
+          policy. *)
   misspec_delayed : int;  (** tasks whose start a speculated edge delayed *)
   squashes : int;  (** re-executions under [Squash] *)
   in_queue_high_water : int;
+      (** peak in-queue occupancy.  A squash re-inserts the task at the
+          head of its in-queue without re-running the capacity check (it
+          reclaims the slot it issued from), so under [Squash] this may
+          exceed [queue_capacity] by at most [squashes]; fresh dispatches
+          from phase A always respect the bound. *)
   out_queue_high_water : int;
   b_tasks_per_core : int array;  (** B tasks executed per B core *)
   schedule : sched_entry list;
@@ -60,9 +70,26 @@ val validate_default : bool ref
     [?validate] argument overrides it. *)
 
 val run_loop :
-  Machine.Config.t -> ?policy:policy -> ?validate:bool -> Input.loop -> loop_result
+  Machine.Config.t ->
+  ?policy:policy ->
+  ?validate:bool ->
+  ?obs:Obs.Sink.t ->
+  ?metrics:Obs.Metrics.t ->
+  Input.loop ->
+  loop_result
+(** [?obs] (default {!Obs.Sink.null}) receives the run's structured
+    events — task start/finish/squash, iteration commits, queue
+    push/pop with occupancy, dispatch and wake — with loop-local times;
+    the null sink costs one branch per site and no allocation.
+    [?metrics] names the registry that accumulates the run's counters
+    (misspec_delayed, squashes, busy/A..C) and queue-occupancy gauges;
+    with a sampling registry, per-slot occupancy time series are
+    recorded too.  Omitted, a private registry is used and discarded. *)
 
-val run : Machine.Config.t -> ?policy:policy -> ?validate:bool -> Input.t -> result
+val run :
+  Machine.Config.t -> ?policy:policy -> ?validate:bool -> ?obs:Obs.Sink.t -> Input.t -> result
+(** Loops' events are rebased to program time and bracketed by
+    [Loop_begin]/[Loop_end], so one sink observes the whole program. *)
 
 val speedup : result -> float
 (** [sequential_time / total_time]; 1.0 for an empty program. *)

@@ -35,5 +35,13 @@ dune build
 dune runtest
 dune build @prop
 dune exec bench/main.exe -- quick > /dev/null
-echo "check.sh: build + runtest + prop + bench smoke OK (schedules oracle-validated)"
-echo "perf record: BENCH_pipeline.json"
+
+# Trace smoke: run one registry study with SIM_TRACE set, then parse the
+# emitted Chrome trace back and assert it has slices + counter tracks.
+trace_tmp="$(mktemp -t sim_trace.XXXXXX.json)"
+trap 'rm -f "$trace_tmp"' EXIT
+SIM_TRACE="$trace_tmp" dune exec bin/repro.exe -- run -b 164.gzip -s small > /dev/null 2>&1
+dune exec scripts/validate_trace.exe -- "$trace_tmp"
+
+echo "check.sh: build + runtest + prop + bench smoke + trace smoke OK (schedules oracle-validated)"
+echo "perf record: BENCH_pipeline.json, BENCH_summary.json, BENCH_summary.csv"

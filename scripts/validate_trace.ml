@@ -1,0 +1,52 @@
+(* Validate a Chrome trace_event JSON file produced by Obs.Trace_event:
+   parse it back with Obs.Json and check the structure a trace viewer
+   relies on — a non-empty traceEvents array holding at least one
+   complete slice ("X", a task execution on some core track) and at
+   least one counter sample ("C", queue occupancy).  Used by
+   scripts/check.sh as the trace smoke test.
+
+     validate_trace FILE *)
+
+let fail fmt = Printf.ksprintf (fun msg -> prerr_endline ("validate_trace: " ^ msg); exit 1) fmt
+
+let read_file path =
+  let ic = try open_in_bin path with Sys_error e -> fail "%s" e in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let () =
+  let file = if Array.length Sys.argv = 2 then Sys.argv.(1) else fail "usage: validate_trace FILE" in
+  let json =
+    match Obs.Json.parse (read_file file) with
+    | Ok v -> v
+    | Error e -> fail "%s is not valid JSON: %s" file e
+  in
+  let events =
+    match Option.bind (Obs.Json.member "traceEvents" json) Obs.Json.to_list with
+    | Some evs -> evs
+    | None -> fail "%s has no traceEvents array" file
+  in
+  if events = [] then fail "%s: traceEvents is empty" file;
+  let phase e = Option.bind (Obs.Json.member "ph" e) Obs.Json.to_str in
+  let count ph = List.length (List.filter (fun e -> phase e = Some ph) events) in
+  let slices = count "X" and counters = count "C" in
+  if slices = 0 then fail "%s has no complete slices (task executions)" file;
+  if counters = 0 then fail "%s has no counter samples (queue occupancy)" file;
+  List.iter
+    (fun e ->
+      match phase e with
+      | Some "X" ->
+        let int_field k =
+          match Option.bind (Obs.Json.member k e) Obs.Json.to_int with
+          | Some v -> v
+          | None -> fail "%s: a slice lacks integer %s" file k
+        in
+        if int_field "dur" < 0 then fail "%s: negative slice duration" file;
+        ignore (int_field "ts");
+        ignore (int_field "tid")
+      | _ -> ())
+    events;
+  Printf.printf "validate_trace: %s OK (%d events, %d slices, %d counter samples)\n" file
+    (List.length events) slices counters

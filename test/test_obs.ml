@@ -1,0 +1,281 @@
+(* Tests for the lib/obs observability layer: JSON round-trips, the
+   metrics registry, event sinks, Chrome trace export from a real
+   registry study, wall-clock span aggregation across pool domains, and
+   the summary emitters. *)
+
+module J = Obs.Json
+module M = Obs.Metrics
+module S = Obs.Sink
+module E = Obs.Event
+
+(* ------------------------------------------------------------------ *)
+(* Json                                                                *)
+
+let json_round_trip () =
+  let v =
+    J.Obj
+      [
+        ("name", J.Str "pipe \"quoted\"\n\ttab");
+        ("count", J.Int 42);
+        ("ratio", J.Float 2.5);
+        ("flag", J.Bool true);
+        ("none", J.Null);
+        ("xs", J.Arr [ J.Int 1; J.Int (-2); J.Arr []; J.Obj [] ]);
+      ]
+  in
+  match J.parse (J.to_string v) with
+  | Ok v' -> Alcotest.(check bool) "round-trips" true (v = v')
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let json_rejects_garbage () =
+  let bad s =
+    match J.parse s with
+    | Ok _ -> Alcotest.failf "accepted %S" s
+    | Error _ -> ()
+  in
+  bad "";
+  bad "{";
+  bad "[1, 2,]";
+  bad "{\"a\": 1} trailing";
+  bad "\"unterminated"
+
+let json_accessors () =
+  let v = J.Obj [ ("a", J.Int 3); ("b", J.Arr [ J.Str "x" ]) ] in
+  Alcotest.(check (option int)) "member int" (Some 3) (Option.bind (J.member "a" v) J.to_int);
+  Alcotest.(check (option string)) "nested str" (Some "x")
+    (Option.bind
+       (Option.bind (Option.bind (J.member "b" v) J.to_list) (fun l -> List.nth_opt l 0))
+       J.to_str);
+  Alcotest.(check (option int)) "missing" None (Option.bind (J.member "zzz" v) J.to_int)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+
+let metrics_counters_and_gauges () =
+  let m = M.create () in
+  let c = M.counter m "squashes" in
+  M.incr c;
+  M.add c 4;
+  Alcotest.(check int) "counter value" 5 (M.value c);
+  Alcotest.(check bool) "find-or-create shares state" true (M.value (M.counter m "squashes") = 5);
+  let g = M.gauge m "occupancy" in
+  M.observe g 3;
+  M.observe g 7;
+  M.observe g 2;
+  Alcotest.(check int) "gauge current" 2 (M.gauge_value g);
+  Alcotest.(check int) "gauge high water" 7 (M.high_water g)
+
+let metrics_sampling_gate () =
+  Alcotest.(check bool) "off by default" false (M.sampling (M.create ()));
+  let m = M.create ~sampling:true () in
+  Alcotest.(check bool) "on when asked" true (M.sampling m);
+  let s = M.series m "in_queue/0" in
+  M.sample s ~time:0 1;
+  M.sample s ~time:5 2;
+  Alcotest.(check (list (pair int int))) "samples in order" [ (0, 1); (5, 2) ] (M.samples s)
+
+let metrics_snapshot_sorted () =
+  let m = M.create ~sampling:true () in
+  ignore (M.counter m "zeta");
+  ignore (M.counter m "alpha");
+  M.observe (M.gauge m "g2") 1;
+  M.observe (M.gauge m "g1") 9;
+  M.sample (M.series m "s/1") ~time:0 0;
+  let snap = M.snapshot m in
+  Alcotest.(check (list string)) "counters name-sorted" [ "alpha"; "zeta" ]
+    (List.map fst snap.M.snap_counters);
+  Alcotest.(check (list string)) "gauges name-sorted" [ "g1"; "g2" ]
+    (List.map fst snap.M.snap_gauges);
+  Alcotest.(check int) "series captured" 1 (List.length snap.M.snap_series)
+
+(* ------------------------------------------------------------------ *)
+(* Sinks and events                                                    *)
+
+let sink_null_is_disabled () =
+  Alcotest.(check bool) "disabled" false (S.enabled S.null);
+  (* Emitting into the null sink is a no-op, not an error. *)
+  S.emit S.null (E.Wake { time = 0 })
+
+let sink_recorder_and_offset () =
+  let r = S.recorder () in
+  let sink = S.offset 100 (S.record r) in
+  S.emit sink (E.Task_finish { time = 7; task = 3; core = 1 });
+  S.emit sink (E.Wake { time = 1 });
+  Alcotest.(check int) "two events" 2 (S.count r);
+  Alcotest.(check (list int)) "times rebased" [ 107; 101 ] (List.map E.time (S.events r));
+  S.clear r;
+  Alcotest.(check int) "cleared" 0 (S.count r)
+
+let sink_tee_forwards_to_both () =
+  let a = S.recorder () and b = S.recorder () in
+  S.emit (S.tee (S.record a) (S.record b)) (E.Wake { time = 2 });
+  Alcotest.(check int) "left" 1 (S.count a);
+  Alcotest.(check int) "right" 1 (S.count b)
+
+(* ------------------------------------------------------------------ *)
+(* Trace export from a real registry study                             *)
+
+let gzip_input =
+  lazy
+    (let study =
+       match Benchmarks.Registry.find "164.gzip" with Some s -> s | None -> assert false
+     in
+     let profile = study.Benchmarks.Study.run ~scale:Benchmarks.Study.Small in
+     (Core.Framework.build ~plan:study.Benchmarks.Study.plan profile).Core.Framework.input)
+
+let trace_export_registry_study () =
+  let recorder = S.recorder () in
+  ignore
+    (Sim.Pipeline.run
+       (Machine.Config.default ~cores:16)
+       ~obs:(S.record recorder) (Lazy.force gzip_input));
+  Alcotest.(check bool) "events recorded" true (S.count recorder > 0);
+  let json = Obs.Trace_event.export (S.events recorder) in
+  (* The serialized trace must parse back... *)
+  let reparsed =
+    match J.parse (J.to_string json) with
+    | Ok v -> v
+    | Error e -> Alcotest.failf "trace does not re-parse: %s" e
+  in
+  let events =
+    match Option.bind (J.member "traceEvents" reparsed) J.to_list with
+    | Some evs -> evs
+    | None -> Alcotest.fail "no traceEvents array"
+  in
+  let phase e = Option.bind (J.member "ph" e) J.to_str in
+  (* ...with complete slices spread over more than one core track... *)
+  let slice_tids =
+    List.filter_map
+      (fun e -> if phase e = Some "X" then Option.bind (J.member "tid" e) J.to_int else None)
+      events
+  in
+  Alcotest.(check bool) "has slices" true (slice_tids <> []);
+  Alcotest.(check bool) "slices on several cores" true
+    (List.length (List.sort_uniq compare slice_tids) >= 2);
+  (* ...and counter tracks for both queue directions. *)
+  let counter_names =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun e -> if phase e = Some "C" then Option.bind (J.member "name" e) J.to_str else None)
+         events)
+  in
+  let has prefix =
+    List.exists
+      (fun n -> String.length n >= String.length prefix && String.sub n 0 (String.length prefix) = prefix)
+      counter_names
+  in
+  Alcotest.(check bool) "in-queue counters" true (has "in-queue");
+  Alcotest.(check bool) "out-queue counters" true (has "out-queue")
+
+let trace_null_sink_changes_nothing () =
+  (* The default (null) sink must leave results identical to an
+     instrumented run — observability is read-only. *)
+  let cfg = Machine.Config.default ~cores:8 in
+  let input = Lazy.force gzip_input in
+  let plain = Sim.Pipeline.run cfg input in
+  let recorder = S.recorder () in
+  let observed = Sim.Pipeline.run cfg ~obs:(S.record recorder) input in
+  Alcotest.(check bool) "same result" true (plain = observed);
+  Alcotest.(check bool) "yet events flowed" true (S.count recorder > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+
+let span_aggregates () =
+  let t = Obs.Span.create () in
+  Obs.Span.record t "phase" 1.0;
+  Obs.Span.record t "phase" 3.0;
+  (match Obs.Span.snapshot t with
+  | [ row ] ->
+    Alcotest.(check string) "name" "phase" row.Obs.Span.name;
+    Alcotest.(check int) "count" 2 row.Obs.Span.count;
+    Alcotest.(check (float 1e-9)) "total" 4.0 row.Obs.Span.total_s;
+    Alcotest.(check (float 1e-9)) "mean" 2.0 row.Obs.Span.mean_s;
+    Alcotest.(check (float 1e-9)) "max" 3.0 row.Obs.Span.max_span_s
+  | rows -> Alcotest.failf "expected 1 aggregate, got %d" (List.length rows));
+  Obs.Span.reset t;
+  Alcotest.(check int) "reset" 0 (List.length (Obs.Span.snapshot t))
+
+let span_time_records_on_raise () =
+  let t = Obs.Span.create () in
+  (try Obs.Span.time ~registry:t "boom" (fun () -> failwith "x") with Failure _ -> ());
+  match Obs.Span.snapshot t with
+  | [ row ] -> Alcotest.(check int) "recorded despite raise" 1 row.Obs.Span.count
+  | _ -> Alcotest.fail "span not recorded"
+
+let span_across_pool_domains () =
+  (* Span.record takes a mutex, so workers on different domains fold
+     into one registry without losing updates. *)
+  let t = Obs.Span.create () in
+  Parallel.Pool.with_pool ~domains:4 (fun pool ->
+      ignore
+        (Parallel.Pool.map_list pool
+           (fun i ->
+             Obs.Span.record t "worker" (float_of_int i);
+             i)
+           (List.init 64 Fun.id)));
+  match Obs.Span.snapshot t with
+  | [ row ] ->
+    Alcotest.(check int) "all 64 recorded" 64 row.Obs.Span.count;
+    Alcotest.(check (float 1e-6)) "total is the sum" 2016.0 row.Obs.Span.total_s
+  | rows -> Alcotest.failf "expected 1 aggregate, got %d" (List.length rows)
+
+(* ------------------------------------------------------------------ *)
+(* Summary emitters                                                    *)
+
+let summary_emits_csv_and_json () =
+  let m = M.create () in
+  M.add (M.counter m "squashes") 3;
+  M.observe (M.gauge m "occ") 5;
+  let spans = [ { Obs.Span.name = "phase"; count = 2; total_s = 4.0; mean_s = 2.0; max_span_s = 3.0 } ] in
+  let csv = Obs.Summary.to_csv ~metrics:(M.snapshot m) ~spans () in
+  (match String.split_on_char '\n' (String.trim csv) with
+  | header :: rows ->
+    Alcotest.(check string) "header" Obs.Summary.csv_header header;
+    Alcotest.(check int) "one row per metric and span" 3 (List.length rows)
+  | [] -> Alcotest.fail "empty csv");
+  let json = Obs.Summary.to_json ~metrics:(M.snapshot m) ~spans () in
+  match J.parse (J.to_string json) with
+  | Ok v ->
+    Alcotest.(check (option int)) "counter survives" (Some 3)
+      (Option.bind
+         (Option.bind (J.member "metrics" v) (J.member "counters"))
+         (fun c -> Option.bind (J.member "squashes" c) J.to_int));
+    Alcotest.(check (option int)) "one span row" (Some 1)
+      (Option.map List.length (Option.bind (J.member "spans" v) J.to_list))
+  | Error e -> Alcotest.failf "summary json invalid: %s" e
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "round trip" `Quick json_round_trip;
+          Alcotest.test_case "rejects garbage" `Quick json_rejects_garbage;
+          Alcotest.test_case "accessors" `Quick json_accessors;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters and gauges" `Quick metrics_counters_and_gauges;
+          Alcotest.test_case "sampling gate" `Quick metrics_sampling_gate;
+          Alcotest.test_case "snapshot sorted" `Quick metrics_snapshot_sorted;
+        ] );
+      ( "sinks",
+        [
+          Alcotest.test_case "null disabled" `Quick sink_null_is_disabled;
+          Alcotest.test_case "recorder and offset" `Quick sink_recorder_and_offset;
+          Alcotest.test_case "tee" `Quick sink_tee_forwards_to_both;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "registry study exports" `Quick trace_export_registry_study;
+          Alcotest.test_case "null sink is read-only" `Quick trace_null_sink_changes_nothing;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "aggregates" `Quick span_aggregates;
+          Alcotest.test_case "records on raise" `Quick span_time_records_on_raise;
+          Alcotest.test_case "across pool domains" `Quick span_across_pool_domains;
+        ] );
+      ("summary", [ Alcotest.test_case "csv and json" `Quick summary_emits_csv_and_json ]);
+    ]

@@ -188,6 +188,17 @@ let prop_serial_never_beaten_upper () =
       let r = P.run_loop c ~validate:true loop in
       r.P.span <= Sim.Analytic.upper_bound loop)
 
+let prop_busy_within_span () =
+  (* Busy charges only time a core actually spent occupied — an aborted
+     squash run counts its elapsed portion, not its full work — so no
+     core's busy can exceed the loop span under either policy.  (The
+     scenario generator draws both Serialize and Squash.) *)
+  R.run_prop_exn ~print:print_scenario ~name:"oracle: per-core busy never exceeds span"
+    scenario (fun (d, cores, lat, policy) ->
+      let loop = GI.build_loop d in
+      let r = P.run_loop (cfg ~lat cores) ~policy ~validate:true loop in
+      Array.for_all (fun b -> b <= r.P.span) r.P.busy)
+
 let prop_random_plans_validate () =
   (* The oracle accepts every schedule of every random plan under every
      policy — the randomized counterpart of the registry acceptance. *)
@@ -228,6 +239,7 @@ let () =
           Alcotest.test_case "span within analytic bounds" `Quick prop_span_bounds;
           Alcotest.test_case "zero-latency within upper bound" `Quick
             prop_serial_never_beaten_upper;
+          Alcotest.test_case "per-core busy within span" `Quick prop_busy_within_span;
           Alcotest.test_case "random schedules accepted" `Quick prop_random_plans_validate;
         ] );
     ]

@@ -316,6 +316,56 @@ let prop_schedule_valid_squash =
       schedule_is_valid loop r)
 
 (* ------------------------------------------------------------------ *)
+(* Squash accounting regressions                                       *)
+
+let squash_policy = { P.misspec = P.Squash; forwarding = false }
+
+let squash_charges_only_elapsed () =
+  (* B1 (work 50) starts speculatively at t=0 on its own core; its
+     producer B0 (work 10) finishes at t=10 and squashes it.  The
+     aborted run really occupied the core for 10 units, so busy must
+     charge 10, not the full 50 (the seed charged 50 and then 50 again
+     for the re-run, pushing the core's busy past the span). *)
+  let loop =
+    build_loop [ (None, [ 10 ], None); (None, [ 50 ], None) ] [ (0, 0, 1, 0, true) ]
+  in
+  let r = P.run_loop (cfg 4) ~policy:squash_policy loop in
+  Alcotest.(check bool) "squashed at least once" true (r.P.squashes >= 1);
+  Array.iteri
+    (fun c b ->
+      Alcotest.(check bool)
+        (Printf.sprintf "core %d busy %d within span %d" c b r.P.span)
+        true (b <= r.P.span))
+    r.P.busy;
+  Alcotest.(check int) "total busy = work + elapsed of the aborted run"
+    (I.loop_work loop + 10)
+    (Array.fold_left ( + ) 0 r.P.busy)
+
+let squash_reinsert_tracks_high_water () =
+  (* Capacity-1 queues.  B1 (work 2) completes early and sits
+     uncommitted in its out-queue; the dispatcher refills its in-queue
+     slot with B2.  When B0 (work 10) finishes at t=10 it squashes the
+     completed B1, whose push_front re-insert drives that in-queue to 2
+     entries — one past the capacity.  The seed bumped the occupancy
+     without updating the high-water mark, so the result (and the
+     oracle's queue-bounds check) never saw the excursion. *)
+  let cap = 1 in
+  let loop =
+    build_loop
+      [ (None, [ 10 ], Some 1); (None, [ 2 ], Some 1); (None, [ 4 ], Some 1) ]
+      [ (0, 0, 1, 0, true) ]
+  in
+  let r = P.run_loop (cfg ~cap 4) ~policy:squash_policy loop in
+  Alcotest.(check bool) "squashed at least once" true (r.P.squashes >= 1);
+  Alcotest.(check bool)
+    (Printf.sprintf "re-insert excursion observed (high water %d > capacity %d)"
+       r.P.in_queue_high_water cap)
+    true
+    (r.P.in_queue_high_water > cap);
+  Alcotest.(check bool) "within the per-squash allowance" true
+    (r.P.in_queue_high_water <= cap + r.P.squashes)
+
+(* ------------------------------------------------------------------ *)
 (* Speedup sweeps                                                      *)
 
 let sweep_program () =
@@ -441,6 +491,18 @@ let gantt_empty_schedule () =
   let text = Sim.Gantt.render ~cores:2 ~span:0 [] in
   Alcotest.(check bool) "renders" true (String.length text > 0)
 
+let gantt_zero_work_marker () =
+  (* A zero-work task occupies no time; drawing it as a filled cell
+     misrepresents the schedule.  It gets an instant marker instead,
+     and never overwrites a real task. *)
+  let zero = { P.s_task = 0; s_core = 0; s_start = 5; s_finish = 5 } in
+  let text = Sim.Gantt.render ~width:20 ~cores:1 ~span:10 [ zero ] in
+  Alcotest.(check bool) "no filled cell" false (String.contains text 'a');
+  Alcotest.(check bool) "instant marker drawn" true (String.contains text '\'');
+  let real = { P.s_task = 1; s_core = 0; s_start = 0; s_finish = 10 } in
+  let overlaid = Sim.Gantt.render ~width:20 ~cores:1 ~span:10 [ real; zero ] in
+  Alcotest.(check bool) "real task wins the cell" false (String.contains overlaid '\'')
+
 (* Levels of the LZ77 compressor exercised by 164.gzip's two loops. *)
 let lz77_fast_does_less_work () =
   let text = Workloads.Textgen.repetitive_text (Simcore.Rng.create 12) ~bytes:20000 ~redundancy:0.6 in
@@ -502,6 +564,10 @@ let () =
         [
           Alcotest.test_case "squash re-executes" `Quick squash_counts_reexecution;
           Alcotest.test_case "forwarding overlap" `Quick forwarding_enables_overlap;
+          Alcotest.test_case "squash charges only elapsed work" `Quick
+            squash_charges_only_elapsed;
+          Alcotest.test_case "squash re-insert tracks high water" `Quick
+            squash_reinsert_tracks_high_water;
         ] );
       ( "properties",
         [
@@ -534,6 +600,7 @@ let () =
         [
           Alcotest.test_case "renders rows" `Quick gantt_renders_rows;
           Alcotest.test_case "empty" `Quick gantt_empty_schedule;
+          Alcotest.test_case "zero-work marker" `Quick gantt_zero_work_marker;
           Alcotest.test_case "lz77 levels" `Quick lz77_fast_does_less_work;
         ] );
       ("input", [ Alcotest.test_case "merge edges" `Quick input_merges_duplicate_edges ]);
