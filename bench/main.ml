@@ -20,6 +20,14 @@ let () = Obs.Span.set_clock Unix.gettimeofday
 
 let jobs = Parallel.Pool.default_domains ()
 
+(* Where the machine-readable outputs (BENCH_pipeline.json,
+   BENCH_summary.{json,csv}, BENCH_history.jsonl) land.  The default is
+   the working directory — the files are committed perf records; tests
+   and check.sh point BENCH_DIR at a scratch directory instead. *)
+let bench_dir = Option.value (Sys.getenv_opt "BENCH_DIR") ~default:"."
+
+let bench_path name = Filename.concat bench_dir name
+
 let pool = Parallel.Pool.create ~domains:jobs
 
 let section title =
@@ -379,7 +387,7 @@ let run_bechamel () =
    vary run to run and are deliberately kept out of stdout so that the
    printed tables/figures stay byte-identical at any job count. *)
 let write_bench_json ~total_seconds =
-  let oc = open_out "BENCH_pipeline.json" in
+  let oc = open_out (bench_path "BENCH_pipeline.json") in
   Printf.fprintf oc "{\n";
   Printf.fprintf oc "  \"harness\": \"bench/main.exe\",\n";
   Printf.fprintf oc "  \"jobs\": %d,\n" jobs;
@@ -401,6 +409,33 @@ let write_bench_json ~total_seconds =
    accumulated (per-study experiment times, per-sweep-point simulation
    times across all pool domains).  Like BENCH_pipeline.json these are
    files, not stdout, so the printed report stays byte-identical. *)
+(* Per-study attribution at the paper's thread count: where each loop's
+   span goes (stalls, critical-path composition, bounds headroom) plus
+   the one-line diagnosis.  Attached to BENCH_summary.json so the perf
+   record says not just how fast but why. *)
+let attribution_blocks () =
+  List.concat_map
+    (fun (e : Core.Experiment.t) ->
+      let s = e.Core.Experiment.study in
+      let cfg = Machine.Config.default ~cores:s.Benchmarks.Study.paper_threads in
+      List.filter_map
+        (function
+          | Sim.Input.Serial _ -> None
+          | Sim.Input.Parallel loop ->
+            let a = Obs_analysis.Attribution.run cfg loop in
+            let block =
+              match Obs_analysis.Attribution.to_json a with
+              | Obs.Json.Obj fields ->
+                Obs.Json.Obj
+                  (("study", Obs.Json.Str s.Benchmarks.Study.spec_name)
+                   :: fields
+                  @ [ ("diagnosis", Obs.Json.Str (Obs_analysis.Explain.diagnose a)) ])
+              | j -> j
+            in
+            Some block)
+        e.Core.Experiment.built.Core.Framework.input.Sim.Input.segments)
+    (Lazy.force experiments)
+
 let write_obs_summary () =
   let gzip = study "164.gzip" in
   let profile = gzip.Benchmarks.Study.run ~scale:Benchmarks.Study.Small in
@@ -415,8 +450,61 @@ let write_obs_summary () =
     built.Core.Framework.input.Sim.Input.segments;
   let snap = Obs.Metrics.snapshot metrics in
   let spans = Obs.Span.snapshot Obs.Span.default in
-  Obs.Summary.write_json ~metrics:snap ~spans "BENCH_summary.json";
-  Obs.Summary.write_csv ~metrics:snap ~spans "BENCH_summary.csv"
+  let extra = [ ("attribution", Obs.Json.Arr (attribution_blocks ())) ] in
+  Obs.Summary.write_json ~metrics:snap ~spans ~extra (bench_path "BENCH_summary.json");
+  Obs.Summary.write_csv ~metrics:snap ~spans (bench_path "BENCH_summary.csv")
+
+(* ------------------------------------------------------------------ *)
+(* Bench history (JSONL, appended every run)                           *)
+
+let git_rev () =
+  match Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" with
+  | exception _ -> "unknown"
+  | ic ->
+    let line = try input_line ic with End_of_file -> "" in
+    let status = Unix.close_process_in ic in
+    if status = Unix.WEXITED 0 && line <> "" then line else "unknown"
+
+(* Digest of everything that changes what the simulated numbers mean:
+   input scale, the study list, and the default machine parameters.
+   Same digest => entries are comparable; compare_bench warns (but still
+   compares) when it differs. *)
+let config_digest () =
+  let cfg = Machine.Config.default ~cores:8 in
+  Digest.to_hex
+    (Digest.string
+       (String.concat "|"
+          (Benchmarks.Study.scale_to_string scale
+           :: string_of_int cfg.Machine.Config.queue_capacity
+           :: string_of_int cfg.Machine.Config.comm_latency
+           :: Benchmarks.Registry.names)))
+
+let write_history ~total_seconds =
+  let studies =
+    List.map2
+      (fun (e : Core.Experiment.t) (name, dt) ->
+        assert (e.Core.Experiment.study.Benchmarks.Study.spec_name = name);
+        let best = Core.Experiment.best e in
+        {
+          Obs_analysis.History.study = name;
+          threads = best.Sim.Speedup.threads;
+          span = best.Sim.Speedup.result.Sim.Pipeline.total_time;
+          speedup = best.Sim.Speedup.speedup;
+          seconds = dt;
+        })
+      (Lazy.force experiments) !study_seconds
+  in
+  let entry =
+    {
+      Obs_analysis.History.rev = git_rev ();
+      config = config_digest ();
+      scale = Benchmarks.Study.scale_to_string scale;
+      jobs;
+      total_seconds;
+      studies;
+    }
+  in
+  Obs_analysis.History.append (bench_path "BENCH_history.jsonl") entry
 
 let () =
   let quick = Array.length Sys.argv > 1 && Sys.argv.(1) = "quick" in
@@ -439,7 +527,9 @@ let () =
   gantt_demo ();
   static_model ();
   if not quick then run_bechamel ();
-  write_bench_json ~total_seconds:(Unix.gettimeofday () -. t0);
+  let total_seconds = Unix.gettimeofday () -. t0 in
+  write_bench_json ~total_seconds;
   write_obs_summary ();
+  write_history ~total_seconds;
   Parallel.Pool.shutdown pool;
   Format.printf "@.done.@."

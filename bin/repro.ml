@@ -3,6 +3,7 @@
 
      repro list                      enumerate benchmarks
      repro run -b 164.gzip           sweep one benchmark
+     repro explain -b 256.bzip2     stall/critical-path attribution
      repro table1 / table2           the paper's tables
      repro figure -n 4               figure by number (3..7)
      repro ablate -b 300.twolf       annotated vs baseline plan
@@ -61,6 +62,31 @@ let write_trace ~threads input file =
   Obs.Trace_event.write_file file (Obs.Sink.events recorder);
   Format.eprintf "trace: %d events written to %s@." (Obs.Sink.count recorder) file
 
+let summary_arg =
+  Arg.(value & opt (some string) None
+       & info [ "summary" ] ~docv:"FILE"
+           ~doc:"Write an $(b,Obs.Summary) of the run — simulator counters, queue \
+                 gauges and occupancy series from one instrumented simulation at the \
+                 study's paper thread count — to $(docv). A .csv suffix selects the \
+                 flat CSV table; anything else gets JSON. Independent of --trace: no \
+                 event stream is recorded.")
+
+(* Re-simulate once with a metrics registry (no event sink) and dump the
+   counters/gauges/series. *)
+let write_summary ~threads input file =
+  let metrics = Obs.Metrics.create ~sampling:true () in
+  List.iter
+    (function
+      | Sim.Input.Serial _ -> ()
+      | Sim.Input.Parallel loop ->
+        ignore
+          (Sim.Pipeline.run_loop (Machine.Config.default ~cores:threads) ~metrics loop))
+    input.Sim.Input.segments;
+  let snap = Obs.Metrics.snapshot metrics in
+  if Filename.check_suffix file ".csv" then Obs.Summary.write_csv ~metrics:snap file
+  else Obs.Summary.write_json ~metrics:snap file;
+  Format.eprintf "summary: written to %s@." file
+
 let find_study name =
   match Benchmarks.Registry.find name with
   | Some s -> Ok s
@@ -81,23 +107,58 @@ let list_cmd =
     Term.(const run $ const ())
 
 let run_cmd =
-  let run name scale jobs trace =
+  let run name scale jobs trace summary =
     match find_study name with
     | Error e -> Error e
     | Ok study ->
       with_pool jobs (fun pool ->
           let e = Core.Experiment.run ~pool ~scale study in
           Core.Report.diagnostics Format.std_formatter e;
+          let input = e.Core.Experiment.built.Core.Framework.input in
+          let threads = study.Benchmarks.Study.paper_threads in
           (match trace_file trace with
           | None -> ()
           | Some file ->
             (* Trace the paper's headline configuration for this study. *)
-            write_trace ~threads:study.Benchmarks.Study.paper_threads
-              e.Core.Experiment.built.Core.Framework.input file);
+            write_trace ~threads input file);
+          (match summary with
+          | None -> ()
+          | Some file -> write_summary ~threads input file);
           Ok ())
   in
   Cmd.v (Cmd.info "run" ~doc:"Sweep one benchmark across thread counts.")
-    Term.(term_result (const run $ bench_arg $ scale_arg $ jobs_arg $ trace_arg))
+    Term.(term_result (const run $ bench_arg $ scale_arg $ jobs_arg $ trace_arg $ summary_arg))
+
+let explain_cmd =
+  let threads_arg =
+    Arg.(value & opt int 8 & info [ "t"; "threads" ] ~docv:"N" ~doc:"Machine size.")
+  in
+  let run name scale threads =
+    match find_study name with
+    | Error e -> Error e
+    | Ok study ->
+      let profile = study.Benchmarks.Study.run ~scale in
+      let built = Core.Framework.build ~plan:study.Benchmarks.Study.plan profile in
+      let cfg = Machine.Config.default ~cores:threads in
+      List.iter
+        (function
+          | Sim.Input.Serial _ -> ()
+          | Sim.Input.Parallel loop ->
+            let a = Obs_analysis.Attribution.run cfg loop in
+            (* Under SIM_VALIDATE the oracle already re-checked the
+               schedule; also assert the analysis' own conservation
+               invariants (stall tiling, path length = span). *)
+            if !Sim.Pipeline.validate_default then Obs_analysis.Attribution.validate_exn a;
+            Obs_analysis.Explain.report Format.std_formatter a;
+            Format.printf "@.")
+        built.Core.Framework.input.Sim.Input.segments;
+      Ok ()
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Attribute a benchmark's span: per-core stall taxonomy, critical path by \
+             phase and edge kind, analytic bounds and headroom, one-line diagnosis.")
+    Term.(term_result (const run $ bench_arg $ scale_arg $ threads_arg))
 
 let table1_cmd =
   let run () = Core.Report.table1 Format.std_formatter Benchmarks.Registry.all in
@@ -267,6 +328,6 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           [
-            list_cmd; run_cmd; table1_cmd; table2_cmd; figure_cmd; ablate_cmd; gantt_cmd;
-            chart_cmd; auto_cmd; multistage_cmd;
+            list_cmd; run_cmd; explain_cmd; table1_cmd; table2_cmd; figure_cmd; ablate_cmd;
+            gantt_cmd; chart_cmd; auto_cmd; multistage_cmd;
           ]))

@@ -1,0 +1,382 @@
+module E = Obs.Event
+
+type edge_kind =
+  | Same_core
+  | Queue_hop
+  | Backpressure
+  | Sync_dep
+  | Spec_serialize
+  | Squash_rerun
+  | Wait
+
+let edge_kind_name = function
+  | Same_core -> "same_core"
+  | Queue_hop -> "queue_hop"
+  | Backpressure -> "backpressure"
+  | Sync_dep -> "sync_dep"
+  | Spec_serialize -> "spec_serialize"
+  | Squash_rerun -> "squash_rerun"
+  | Wait -> "wait"
+
+let edge_kinds = [ Same_core; Queue_hop; Backpressure; Sync_dep; Spec_serialize; Squash_rerun; Wait ]
+
+type step =
+  | Exec of { task : int; core : int; phase : char; iteration : int; t0 : int; t1 : int }
+  | Edge of { kind : edge_kind; t0 : int; t1 : int }
+
+type t = { span : int; steps : step list }
+
+let phase_letter = function Ir.Task.A -> 'A' | Ir.Task.B -> 'B' | Ir.Task.C -> 'C'
+
+(* What the backward walk decides at each task start. *)
+type justification =
+  | Producer of edge_kind * int * int  (* edge kind, producer task, anchor (producer cut) *)
+  | Hop of edge_kind * int * int  (* edge kind, task whose *start* freed us, its start *)
+  | Attempt of int * int  (* squashed attempt of task, attempt start (ends at [s]) *)
+  | Fallback of int option * int  (* interval task (None: attempt-less wait), its end < s *)
+  | Root
+
+let extract (cfg : Machine.Config.t) ?(policy = Sim.Sched.default_policy)
+    (loop : Sim.Input.loop) (r : Sim.Sched.loop_result) events =
+  let span = r.Sim.Sched.span in
+  if span <= 0 then { span; steps = [] }
+  else begin
+    let lat = cfg.Machine.Config.comm_latency in
+    let tasks = loop.Sim.Input.tasks in
+    let nt = Array.length tasks in
+    let start = Array.make nt (-1) in
+    let finish = Array.make nt (-1) in
+    let core_of = Array.make nt (-1) in
+    List.iter
+      (fun (s : Sim.Sched.sched_entry) ->
+        start.(s.Sim.Sched.s_task) <- s.Sim.Sched.s_start;
+        finish.(s.Sim.Sched.s_task) <- s.Sim.Sched.s_finish;
+        core_of.(s.Sim.Sched.s_task) <- s.Sim.Sched.s_core)
+      r.Sim.Sched.schedule;
+    (* Iteration structure. *)
+    let iters = Sim.Input.iterations loop in
+    let a_of = Array.make (max iters 1) (-1) in
+    let bs_of = Array.make (max iters 1) [] in
+    Array.iter
+      (fun (t : Ir.Task.t) ->
+        let i = t.Ir.Task.iteration in
+        match t.Ir.Task.phase with
+        | Ir.Task.A -> a_of.(i) <- t.Ir.Task.id
+        | Ir.Task.B -> bs_of.(i) <- t.Ir.Task.id :: bs_of.(i)
+        | Ir.Task.C -> ())
+      tasks;
+    let in_edges = Array.make nt [] in
+    List.iter
+      (fun (e : Sim.Input.edge) -> in_edges.(e.Sim.Input.dst) <- e :: in_edges.(e.Sim.Input.dst))
+      loop.Sim.Input.edges;
+    let gating (e : Sim.Input.edge) =
+      (not e.Sim.Input.speculated) || policy.Sim.Sched.misspec = Sim.Sched.Serialize
+    in
+    (* Event-derived lookups: dispatch time and slot per B task, squash
+       flags, squashed-attempt intervals, out-queue pop times. *)
+    let dispatch_t = Array.make nt (-1) in
+    let slot_of = Array.make nt (-1) in
+    let squashed = Array.make nt false in
+    let open_runs : (int, int * int) Hashtbl.t = Hashtbl.create 64 in
+    (* (core, end time) -> (task, attempt start) for aborted runs. *)
+    let attempts_end : (int * int, int * int) Hashtbl.t = Hashtbl.create 16 in
+    let attempt_ends = ref [] in
+    let out_pops : (int * int, unit) Hashtbl.t = Hashtbl.create 64 in
+    List.iter
+      (fun e ->
+        match e with
+        | E.Dispatch { time; task; slot } ->
+          if task < nt && dispatch_t.(task) < 0 then begin
+            dispatch_t.(task) <- time;
+            slot_of.(task) <- slot
+          end
+        | E.Task_start { time; task; core; _ } -> Hashtbl.replace open_runs task (time, core)
+        | E.Task_finish { task; _ } -> Hashtbl.remove open_runs task
+        | E.Task_squash { time = _; task; core; elapsed } ->
+          if task < nt then squashed.(task) <- true;
+          (match Hashtbl.find_opt open_runs task with
+          | Some (s, c) when c = core ->
+            Hashtbl.remove open_runs task;
+            Hashtbl.replace attempts_end (core, s + elapsed) (task, s);
+            attempt_ends := (s + elapsed, task, s) :: !attempt_ends
+          | _ -> ())
+        | E.Queue_pop { queue = E.Out_queue; slot; time; _ } ->
+          Hashtbl.replace out_pops (slot, time) ()
+        | _ -> ())
+      events;
+    (* Tasks starting / finishing at a given instant. *)
+    let starters_at : (int, int) Hashtbl.t = Hashtbl.create 256 in
+    let finishes_on : (int * int, int) Hashtbl.t = Hashtbl.create 256 in
+    for tid = nt - 1 downto 0 do
+      if start.(tid) >= 0 then begin
+        Hashtbl.add starters_at start.(tid) tid;
+        (* add (not replace): prefer the latest-added (lowest id) only as
+           a tiebreak; all candidates are filtered by visited flags. *)
+        Hashtbl.add finishes_on (core_of.(tid), finish.(tid)) tid
+      end
+    done;
+    let visited_exec = Array.make nt false in
+    let visited_hop = Array.make nt false in
+    let visited_attempt : (int * int, unit) Hashtbl.t = Hashtbl.create 16 in
+    (* Constraint one in-edge puts on its consumer, mirroring the
+       simulator's [constraint_of]. *)
+    let edge_constraint (e : Sim.Input.edge) =
+      let p = e.Sim.Input.src in
+      if p >= nt || start.(p) < 0 then None
+      else if policy.Sim.Sched.forwarding then
+        Some (max 0 (start.(p) + e.Sim.Input.src_offset + lat - e.Sim.Input.dst_offset))
+      else Some (finish.(p) + lat)
+    in
+    let find_first f l = List.find_opt f l in
+    let justify_of tid s =
+      let iter = tasks.(tid).Ir.Task.iteration in
+      let phase = tasks.(tid).Ir.Task.phase in
+      (* 1. squash re-execution: the speculated producer whose finish
+         set [min_restart]. *)
+      let c1 =
+        if not squashed.(tid) then None
+        else
+          find_first
+            (fun (e : Sim.Input.edge) ->
+              e.Sim.Input.speculated && gating e
+              && e.Sim.Input.src < nt
+              && finish.(e.Sim.Input.src) >= 0
+              && finish.(e.Sim.Input.src) + lat = s
+              && not visited_exec.(e.Sim.Input.src))
+            in_edges.(tid)
+          |> Option.map (fun (e : Sim.Input.edge) ->
+                 Producer (Squash_rerun, e.Sim.Input.src, finish.(e.Sim.Input.src)))
+      in
+      (* 2. an explicit dependence edge achieving the start exactly. *)
+      let c2 () =
+        find_first
+          (fun (e : Sim.Input.edge) ->
+            gating e && edge_constraint e = Some s && not visited_exec.(e.Sim.Input.src))
+          in_edges.(tid)
+        |> Option.map (fun (e : Sim.Input.edge) ->
+               let p = e.Sim.Input.src in
+               let kind = if e.Sim.Input.speculated then Spec_serialize else Sync_dep in
+               Producer (kind, p, min s finish.(p)))
+      in
+      (* 3. C start gated by the iteration's delivery: last B result (or
+         the dispatch token when the iteration has no B tasks) plus one
+         hop. *)
+      let c3 () =
+        if phase <> Ir.Task.C then None
+        else
+          let from_b =
+            find_first
+              (fun b -> finish.(b) >= 0 && finish.(b) + lat = s && not visited_exec.(b))
+              bs_of.(iter)
+            |> Option.map (fun b -> Producer (Queue_hop, b, finish.(b)))
+          in
+          match from_b with
+          | Some _ -> from_b
+          | None ->
+            let a = if iter < Array.length a_of then a_of.(iter) else -1 in
+            if a >= 0 && finish.(a) >= 0 && finish.(a) + lat = s && not visited_exec.(a) then
+              Some (Producer (Queue_hop, a, finish.(a)))
+            else None
+      in
+      (* 4. B start at queue arrival: dispatch + one hop.  The dispatch
+         itself happened either right at the iteration's A finish (clean
+         hand-off) or when another B start freed an in-queue slot
+         (backpressure). *)
+      let c4 () =
+        if phase <> Ir.Task.B || dispatch_t.(tid) < 0 || dispatch_t.(tid) + lat <> s then None
+        else begin
+          let d = dispatch_t.(tid) in
+          let a = if iter < Array.length a_of then a_of.(iter) else -1 in
+          if a >= 0 && finish.(a) = d && not visited_exec.(a) then
+            Some (Producer (Queue_hop, a, finish.(a)))
+          else
+            Hashtbl.find_all starters_at d
+            |> find_first (fun b' -> b' <> tid && not visited_hop.(b') && not visited_exec.(b'))
+            |> Option.map (fun b' -> Hop (Backpressure, b', d))
+        end
+      in
+      (* 5. B start released by its out-queue draining (a commit popped
+         the slot at exactly this instant); follow whichever task
+         started with the commit. *)
+      let c5 () =
+        if phase <> Ir.Task.B || slot_of.(tid) < 0 || not (Hashtbl.mem out_pops (slot_of.(tid), s))
+        then None
+        else
+          Hashtbl.find_all starters_at s
+          |> find_first (fun c' -> c' <> tid && not visited_hop.(c') && not visited_exec.(c'))
+          |> Option.map (fun c' -> Hop (Backpressure, c', s))
+      in
+      (* 6. the same core's previous execution ending exactly here. *)
+      let c6 () =
+        Hashtbl.find_all finishes_on (core_of.(tid), s)
+        |> find_first (fun q -> q <> tid && not visited_exec.(q))
+        |> Option.map (fun q -> Producer (Same_core, q, s))
+      in
+      (* 7. a squashed attempt on the same core ending exactly here. *)
+      let c7 () =
+        match Hashtbl.find_opt attempts_end (core_of.(tid), s) with
+        | Some (x, a_start) when not (Hashtbl.mem visited_attempt (x, a_start)) ->
+          Some (Attempt (x, a_start))
+        | _ -> None
+      in
+      let ( <|> ) a b = match a with Some _ -> a | None -> b () in
+      c1 <|> c2 <|> c3 <|> c4 <|> c5 <|> c6 <|> c7
+    in
+    (* Fallback: the latest execution (final or attempt) ending strictly
+       before [s]; covers anything the exact-match candidates miss so
+       the tiling never breaks. *)
+    let fallback s =
+      let best = ref None in
+      for tid = 0 to nt - 1 do
+        if start.(tid) >= 0 && finish.(tid) < s && not visited_exec.(tid) then
+          match !best with
+          | Some (f, _) when f >= finish.(tid) -> ()
+          | _ -> best := Some (finish.(tid), Some tid)
+      done;
+      List.iter
+        (fun (e, x, a_start) ->
+          if e < s && not (Hashtbl.mem visited_attempt (x, a_start)) then
+            match !best with Some (f, _) when f >= e -> () | _ -> best := Some (e, None))
+        !attempt_ends;
+      match !best with Some (f, who) -> Fallback (who, f) | None -> Root
+    in
+    let steps = ref [] in
+    let push s = steps := s :: !steps in
+    let push_edge kind t0 t1 = if t1 > t0 then push (Edge { kind; t0; t1 }) in
+    let exec_step tid t0 t1 =
+      push
+        (Exec
+           {
+             task = tid;
+             core = core_of.(tid);
+             phase = phase_letter tasks.(tid).Ir.Task.phase;
+             iteration = tasks.(tid).Ir.Task.iteration;
+             t0;
+             t1;
+           })
+    in
+    (* Backward walk; every branch tail-calls, so depth is O(1) stack. *)
+    let rec justify tid s =
+      if s > 0 then begin
+        match justify_of tid s with
+        | Some (Producer (kind, p, anchor)) ->
+          push_edge kind anchor s;
+          visited_exec.(p) <- true;
+          exec_step p start.(p) anchor;
+          justify p start.(p)
+        | Some (Hop (kind, p, p_start)) ->
+          push_edge kind p_start s;
+          visited_hop.(p) <- true;
+          justify p p_start
+        | Some (Attempt (x, a_start)) ->
+          Hashtbl.replace visited_attempt (x, a_start) ();
+          push
+            (Exec
+               {
+                 task = x;
+                 core = core_of.(tid);
+                 phase = phase_letter tasks.(x).Ir.Task.phase;
+                 iteration = tasks.(x).Ir.Task.iteration;
+                 t0 = a_start;
+                 t1 = s;
+               });
+          justify x a_start
+        | Some (Fallback _) | Some Root | None -> resolve_fallback s
+      end
+    and resolve_fallback s =
+      match fallback s with
+      | Fallback (Some p, f) ->
+        push_edge Wait f s;
+        visited_exec.(p) <- true;
+        exec_step p start.(p) f;
+        justify p start.(p)
+      | Fallback (None, f) ->
+        (* An attempt interval ends at [f]; re-enter the exact-match
+           machinery from there via a Wait edge. *)
+        push_edge Wait f s;
+        resolve_attempt f
+      | _ -> push_edge Wait 0 s
+    and resolve_attempt f =
+      (* Find the attempt ending at [f] and consume it. *)
+      let found = List.find_opt (fun (e, x, a) -> e = f && not (Hashtbl.mem visited_attempt (x, a))) !attempt_ends in
+      match found with
+      | Some (_, x, a_start) ->
+        Hashtbl.replace visited_attempt (x, a_start) ();
+        push
+          (Exec
+             {
+               task = x;
+               core = core_of.(x);
+               phase = phase_letter tasks.(x).Ir.Task.phase;
+               iteration = tasks.(x).Ir.Task.iteration;
+               t0 = a_start;
+               t1 = f;
+             });
+        justify x a_start
+      | None -> push_edge Wait 0 f
+    in
+    (* Seed: the task whose finish is the span. *)
+    let rec find_end tid best =
+      if tid >= nt then best
+      else
+        let best =
+          if start.(tid) >= 0 && finish.(tid) = span && not visited_exec.(tid) then Some tid
+          else best
+        in
+        find_end (tid + 1) best
+    in
+    (match find_end 0 None with
+    | Some tid ->
+      visited_exec.(tid) <- true;
+      exec_step tid start.(tid) span;
+      justify tid start.(tid)
+    | None -> push_edge Wait 0 span);
+    { span; steps = !steps }
+  end
+
+let step_len = function Exec e -> e.t1 - e.t0 | Edge e -> e.t1 - e.t0
+
+let length t = List.fold_left (fun acc s -> acc + step_len s) 0 t.steps
+
+let by_phase t =
+  let tbl = Hashtbl.create 4 in
+  List.iter
+    (function
+      | Exec e ->
+        Hashtbl.replace tbl e.phase
+          ((try Hashtbl.find tbl e.phase with Not_found -> 0) + (e.t1 - e.t0))
+      | Edge _ -> ())
+    t.steps;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+
+let by_edge t =
+  let amount k =
+    List.fold_left
+      (fun acc s -> match s with Edge e when e.kind = k -> acc + (e.t1 - e.t0) | _ -> acc)
+      0 t.steps
+  in
+  List.map (fun k -> (k, amount k)) edge_kinds
+
+let check t =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let bounds = function Exec e -> (e.t0, e.t1) | Edge e -> (e.t0, e.t1) in
+  let rec go expected = function
+    | [] -> if expected = t.span then Ok () else err "path ends at %d, span is %d" expected t.span
+    | s :: rest ->
+      let t0, t1 = bounds s in
+      if t0 <> expected then err "step starts at %d, expected %d" t0 expected
+      else if t1 < t0 then err "negative step [%d,%d)" t0 t1
+      else go t1 rest
+  in
+  go 0 t.steps
+
+let pp ppf t =
+  Format.fprintf ppf "critical path (length %d):@." (length t);
+  List.iter
+    (function
+      | Exec e ->
+        Format.fprintf ppf "  [%6d,%6d) run  %c%d/i%d on core %d@." e.t0 e.t1 e.phase e.task
+          e.iteration e.core
+      | Edge e ->
+        Format.fprintf ppf "  [%6d,%6d) edge %s@." e.t0 e.t1 (edge_kind_name e.kind))
+    t.steps

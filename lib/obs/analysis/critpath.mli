@@ -1,0 +1,71 @@
+(** Critical path through an executed schedule.
+
+    [extract] walks backward from the task that finishes at the span,
+    asking at every step {e which constraint made this task start when
+    it did}: the previous task on the same core, a dependence edge's
+    producer (plus one communication hop), the in-queue arrival of a
+    dispatched B task, the delivery of an iteration's B results to the C
+    core, or a squash re-execution.  The result is a chain of steps that
+    tiles [0, span] exactly — execution steps carry the task's phase,
+    edge steps carry the kind of serialization they represent — so the
+    path's length always equals the measured span and each work unit of
+    the span is attributed to exactly one phase or edge kind.
+
+    Edge kinds:
+    - {b Same_core} — pipeline-stage serialization: the A chain, the C
+      chain, or FIFO order on one B core.
+    - {b Queue_hop} — a value crossing an inter-core queue: A→B dispatch
+      arrival or B→C delivery ([comm_latency] each).
+    - {b Backpressure} — a dispatch that had to wait for a queue slot to
+      free; the path continues through the task whose start freed it.
+    - {b Sync_dep} — a synchronized dependence edge.
+    - {b Spec_serialize} — a speculated edge that occurred and, under
+      the Serialize policy, delayed its consumer.
+    - {b Squash_rerun} — a re-execution start gated by the producer
+      whose late finish squashed the first attempt.
+    - {b Wait} — fallback when no recorded constraint explains the exact
+      start time (kept so the tiling invariant holds unconditionally;
+      empty in practice under the default policy). *)
+
+type edge_kind =
+  | Same_core
+  | Queue_hop
+  | Backpressure
+  | Sync_dep
+  | Spec_serialize
+  | Squash_rerun
+  | Wait
+
+val edge_kind_name : edge_kind -> string
+
+val edge_kinds : edge_kind list
+
+type step =
+  | Exec of { task : int; core : int; phase : char; iteration : int; t0 : int; t1 : int }
+  | Edge of { kind : edge_kind; t0 : int; t1 : int }
+
+type t = { span : int; steps : step list }
+(** Steps in time order, tiling [0, span]. *)
+
+val extract :
+  Machine.Config.t ->
+  ?policy:Sim.Sched.policy ->
+  Sim.Input.loop ->
+  Sim.Sched.loop_result ->
+  Obs.Event.t list ->
+  t
+
+val length : t -> int
+(** Sum of step durations — equal to the span by construction. *)
+
+val by_phase : t -> (char * int) list
+(** Execution time on the path per phase letter, name-sorted. *)
+
+val by_edge : t -> (edge_kind * int) list
+(** Edge time on the path per kind, in {!edge_kinds} order, zeros
+    included. *)
+
+val check : t -> (unit, string) result
+(** Tiling invariant: steps are contiguous from 0 to the span. *)
+
+val pp : Format.formatter -> t -> unit

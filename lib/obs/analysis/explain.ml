@@ -1,0 +1,45 @@
+let pct num denom = if denom = 0 then 0. else 100. *. float_of_int num /. float_of_int denom
+
+let diagnose (a : Attribution.t) =
+  let parts = ref [] in
+  let add s = parts := s :: !parts in
+  (* Secondary symptoms, appended when they matter (>= 1% of the
+     relevant base), most specific first. *)
+  let headroom_pct = pct a.headroom (max 1 a.lower_bound) in
+  if a.span > 0 && headroom_pct >= 1.0 then
+    add (Printf.sprintf "%.0f%% above the bound" headroom_pct);
+  let waste_pct = pct a.squash_waste a.work in
+  if waste_pct >= 0.5 then add (Printf.sprintf "squash waste %.0f%%" waste_pct);
+  let full_pct = pct a.timeline.Timeline.in_queues_full (max 1 a.span) in
+  if full_pct >= 1.0 then add (Printf.sprintf "queues full %.0f%% of loop" full_pct);
+  if a.misspec_delayed > 0 && a.squashes = 0 then
+    add (Printf.sprintf "%d starts serialized by speculation" a.misspec_delayed);
+  let head = Printf.sprintf "%s bound" (Attribution.bound_name a.binding) in
+  String.concat ", " (head :: !parts)
+
+let report ppf (a : Attribution.t) =
+  Format.fprintf ppf "loop %s: span %d, work %d, speedup %.2fx on %d cores@." a.loop_name
+    a.span a.work a.speedup a.cores;
+  Format.fprintf ppf "bounds: lower %d (critical path %d, A %d, C %d, B %d on %d cores), headroom %d (%.1f%%)@."
+    a.lower_bound a.crit_lower a.a_work a.c_work a.b_work a.b_cores a.headroom
+    (pct a.headroom (max 1 a.lower_bound));
+  Format.fprintf ppf "@.";
+  Timeline.pp ppf a.timeline;
+  Format.fprintf ppf "@.";
+  Format.fprintf ppf "critical path by phase:";
+  List.iter
+    (fun (p, v) -> Format.fprintf ppf " %c=%d (%.0f%%)" p v (pct v (max 1 a.span)))
+    (Critpath.by_phase a.critpath);
+  Format.fprintf ppf "@.critical path by edge:";
+  List.iter
+    (fun (k, v) ->
+      if v > 0 then
+        Format.fprintf ppf " %s=%d (%.0f%%)" (Critpath.edge_kind_name k) v (pct v (max 1 a.span)))
+    (Critpath.by_edge a.critpath);
+  Format.fprintf ppf "@.";
+  if a.squashes > 0 || a.squash_waste > 0 then
+    Format.fprintf ppf "squashes: %d (%d work units wasted, %.1f%% of loop work)@." a.squashes
+      a.squash_waste (pct a.squash_waste (max 1 a.work));
+  if a.misspec_delayed > 0 then
+    Format.fprintf ppf "speculation serialized %d task starts@." a.misspec_delayed;
+  Format.fprintf ppf "@.diagnosis: %s@." (diagnose a)

@@ -1,0 +1,13 @@
+(** Human-readable rendering of an {!Attribution}.
+
+    [diagnose] compresses the whole analysis into one line, e.g.
+    ["C-stage bound, queues full 71% of loop, squash waste 4%"] — the
+    binding lower-bound term first, then whichever secondary symptoms
+    are non-negligible (in-queues at capacity, squash waste, speculation
+    serialization, headroom above the bound).  [report] prints the full
+    breakdown: per-core stall table, critical-path composition by phase
+    and edge kind, bounds and headroom, ending with the diagnosis. *)
+
+val diagnose : Attribution.t -> string
+
+val report : Format.formatter -> Attribution.t -> unit

@@ -1,0 +1,135 @@
+module J = Obs.Json
+
+type study = {
+  study : string;
+  threads : int;
+  span : int;
+  speedup : float;
+  seconds : float;
+}
+
+type entry = {
+  rev : string;
+  config : string;
+  scale : string;
+  jobs : int;
+  total_seconds : float;
+  studies : study list;
+}
+
+let study_to_json s =
+  J.Obj
+    [
+      ("study", J.Str s.study);
+      ("threads", J.Int s.threads);
+      ("span", J.Int s.span);
+      ("speedup", J.Float s.speedup);
+      ("seconds", J.Float s.seconds);
+    ]
+
+let entry_to_json e =
+  J.Obj
+    [
+      ("rev", J.Str e.rev);
+      ("config", J.Str e.config);
+      ("scale", J.Str e.scale);
+      ("jobs", J.Int e.jobs);
+      ("total_seconds", J.Float e.total_seconds);
+      ("studies", J.Arr (List.map study_to_json e.studies));
+    ]
+
+(* Integer-valued floats render as "3" and re-parse as [Int]; accept
+   both shapes for every numeric field. *)
+let to_float = function J.Float f -> Some f | J.Int i -> Some (float_of_int i) | _ -> None
+
+let field name conv j =
+  match Option.bind (J.member name j) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing or mistyped field %S" name)
+
+let ( let* ) = Result.bind
+
+let study_of_json j =
+  let* study = field "study" J.to_str j in
+  let* threads = field "threads" J.to_int j in
+  let* span = field "span" J.to_int j in
+  let* speedup = field "speedup" to_float j in
+  let* seconds = field "seconds" to_float j in
+  Ok { study; threads; span; speedup; seconds }
+
+let entry_of_json j =
+  let* rev = field "rev" J.to_str j in
+  let* config = field "config" J.to_str j in
+  let* scale = field "scale" J.to_str j in
+  let* jobs = field "jobs" J.to_int j in
+  let* total_seconds = field "total_seconds" to_float j in
+  let* studies = field "studies" J.to_list j in
+  let* studies =
+    List.fold_left
+      (fun acc s ->
+        let* acc = acc in
+        let* s = study_of_json s in
+        Ok (s :: acc))
+      (Ok []) studies
+  in
+  Ok { rev; config; scale; jobs; total_seconds; studies = List.rev studies }
+
+let append path e =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (J.to_string (entry_to_json e) ^ "\n"))
+
+let load path =
+  if not (Sys.file_exists path) then Ok []
+  else begin
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec go n acc =
+          match input_line ic with
+          | exception End_of_file -> Ok (List.rev acc)
+          | "" -> go (n + 1) acc
+          | line -> (
+            match J.parse line with
+            | Error e -> Error (Printf.sprintf "%s:%d: %s" path n e)
+            | Ok j -> (
+              match entry_of_json j with
+              | Error e -> Error (Printf.sprintf "%s:%d: %s" path n e)
+              | Ok entry -> go (n + 1) (entry :: acc)))
+        in
+        go 1 [])
+  end
+
+type regression = {
+  r_study : string;
+  metric : string;
+  before : float;
+  after : float;
+  delta_pct : float;
+}
+
+let compare ?(tolerance = 0.02) old_e new_e =
+  let regs = ref [] in
+  List.iter
+    (fun (n : study) ->
+      match List.find_opt (fun (o : study) -> o.study = n.study) old_e.studies with
+      | None -> ()
+      | Some o ->
+        let check metric before after worse_if_bigger =
+          if before > 0. then begin
+            let delta = (after -. before) /. before in
+            let bad = if worse_if_bigger then delta > tolerance else delta < -.tolerance in
+            if bad then
+              regs :=
+                { r_study = n.study; metric; before; after; delta_pct = 100. *. delta } :: !regs
+          end
+        in
+        check "span" (float_of_int o.span) (float_of_int n.span) true;
+        check "speedup" o.speedup n.speedup false)
+    new_e.studies;
+  List.rev !regs
+
+let pp_regression ppf r =
+  Format.fprintf ppf "%s: %s %g -> %g (%+.1f%%)" r.r_study r.metric r.before r.after r.delta_pct

@@ -1,0 +1,54 @@
+(** Persistent bench history: one JSONL line per bench run.
+
+    Each entry records the git revision, a digest of the bench
+    configuration, and per-study simulated numbers (span, speedup) plus
+    informational wall-clock seconds.  [compare] diffs two entries and
+    reports the studies whose {e simulated} span grew or speedup shrank
+    beyond a relative tolerance — simulated numbers are deterministic,
+    so a small tolerance gates real regressions without flaking;
+    wall-clock time is noisy and never gated. *)
+
+type study = {
+  study : string;
+  threads : int;  (** thread count the numbers were taken at *)
+  span : int;
+  speedup : float;
+  seconds : float;  (** wall-clock, informational only *)
+}
+
+type entry = {
+  rev : string;  (** short git revision, or "unknown" *)
+  config : string;  (** digest of the bench configuration *)
+  scale : string;
+  jobs : int;
+  total_seconds : float;
+  studies : study list;
+}
+
+val entry_to_json : entry -> Obs.Json.t
+
+val entry_of_json : Obs.Json.t -> (entry, string) result
+
+val append : string -> entry -> unit
+(** Append one line to the JSONL file, creating it if missing. *)
+
+val load : string -> (entry list, string) result
+(** All entries in file order; a missing file is [Ok []]; a malformed
+    line is an [Error] naming the line number. *)
+
+type regression = {
+  r_study : string;
+  metric : string;  (** ["span"] or ["speedup"] *)
+  before : float;
+  after : float;
+  delta_pct : float;  (** signed change, percent *)
+}
+
+val compare : ?tolerance:float -> entry -> entry -> regression list
+(** [compare ~tolerance old new_]: studies present in both entries whose
+    span increased or speedup decreased by more than [tolerance]
+    (a fraction, default 0.02).  Entries with different [config] digests
+    are compared anyway — the caller decides whether that's meaningful —
+    but studies missing from either side are skipped. *)
+
+val pp_regression : Format.formatter -> regression -> unit

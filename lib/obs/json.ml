@@ -139,6 +139,7 @@ let parse_string cur =
           end
         | c -> error cur "bad escape \\%c" c);
         go ())
+    | Some c when Char.code c < 0x20 -> error cur "raw control character in string"
     | Some c ->
       advance cur;
       Buffer.add_char buf c;
@@ -163,7 +164,14 @@ let parse_number cur =
     | Some f -> Float f
     | None -> error cur "bad number %s" s)
 
-let rec parse_value cur =
+(* The parser recurses once per nesting level, so adversarial input like
+   a million '['s would otherwise crash with Stack_overflow instead of a
+   located error.  No trace or summary this library emits comes near the
+   cap. *)
+let max_depth = 512
+
+let rec parse_value depth cur =
+  if depth > max_depth then error cur "nesting deeper than %d" max_depth;
   skip_ws cur;
   match peek cur with
   | None -> error cur "unexpected end of input"
@@ -180,7 +188,7 @@ let rec parse_value cur =
     end
     else begin
       let rec elems acc =
-        let v = parse_value cur in
+        let v = parse_value (depth + 1) cur in
         skip_ws cur;
         match peek cur with
         | Some ',' ->
@@ -206,7 +214,7 @@ let rec parse_value cur =
         let k = parse_string cur in
         skip_ws cur;
         expect cur ':';
-        let v = parse_value cur in
+        let v = parse_value (depth + 1) cur in
         (k, v)
       in
       let rec fields acc =
@@ -227,7 +235,7 @@ let rec parse_value cur =
 
 let parse s =
   let cur = { text = s; pos = 0 } in
-  match parse_value cur with
+  match parse_value 0 cur with
   | v ->
     skip_ws cur;
     if cur.pos <> String.length s then Error (Printf.sprintf "trailing bytes at %d" cur.pos)

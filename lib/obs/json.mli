@@ -14,7 +14,9 @@ val to_string : t -> string
 (** Compact (single-line) rendering with proper string escaping. *)
 
 val parse : string -> (t, string) result
-(** Full-input parse; [Error] carries a byte position and reason. *)
+(** Full-input parse; [Error] carries a byte position and reason.
+    Nesting beyond 512 levels is rejected (with a located error, not a
+    stack overflow); nothing this library emits comes near the cap. *)
 
 val member : string -> t -> t option
 (** Field lookup on [Obj]; [None] elsewhere. *)

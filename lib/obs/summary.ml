@@ -28,8 +28,8 @@ let span_json (r : Span.row) =
       ("max_seconds", Json.Float r.Span.max_span_s);
     ]
 
-let to_json ?metrics ?(spans = []) () =
-  let fields = [ ("spans", Json.Arr (List.map span_json spans)) ] in
+let to_json ?metrics ?(spans = []) ?(extra = []) () =
+  let fields = [ ("spans", Json.Arr (List.map span_json spans)) ] @ extra in
   let fields =
     match metrics with Some m -> ("metrics", metrics_json m) :: fields | None -> fields
   in
@@ -70,7 +70,7 @@ let write_file path contents =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
 
-let write_json ?metrics ?spans path =
-  write_file path (Json.to_string (to_json ?metrics ?spans ()) ^ "\n")
+let write_json ?metrics ?spans ?extra path =
+  write_file path (Json.to_string (to_json ?metrics ?spans ?extra ()) ^ "\n")
 
 let write_csv ?metrics ?spans path = write_file path (to_csv ?metrics ?spans ())

@@ -6,7 +6,14 @@ val metrics_json : Metrics.snapshot -> Json.t
 
 val span_json : Span.row -> Json.t
 
-val to_json : ?metrics:Metrics.snapshot -> ?spans:Span.row list -> unit -> Json.t
+val to_json :
+  ?metrics:Metrics.snapshot ->
+  ?spans:Span.row list ->
+  ?extra:(string * Json.t) list ->
+  unit ->
+  Json.t
+(** [extra] fields are appended at the top level — the bench harness
+    attaches per-study attribution blocks this way. *)
 
 val csv_header : string
 
@@ -16,6 +23,11 @@ val to_csv : ?metrics:Metrics.snapshot -> ?spans:Span.row list -> unit -> string
 
 val write_file : string -> string -> unit
 
-val write_json : ?metrics:Metrics.snapshot -> ?spans:Span.row list -> string -> unit
+val write_json :
+  ?metrics:Metrics.snapshot ->
+  ?spans:Span.row list ->
+  ?extra:(string * Json.t) list ->
+  string ->
+  unit
 
 val write_csv : ?metrics:Metrics.snapshot -> ?spans:Span.row list -> string -> unit

@@ -275,9 +275,15 @@ let simulate_loop (cfg : Machine.Config.t) ?(policy = default_policy)
       else None
     in
     (* Which in-edges gate the *start* of a consumer: synchronized edges
-       always; speculated edges only under Serialize. *)
+       always; speculated edges under Serialize — and, under Squash, when
+       the consumer is not a phase-B task.  The serial stages run on
+       unversioned state and have no re-execution path (an A task's
+       dispatches and a C task's commits cannot be rolled back), so
+       speculation into them serializes on occurrence; only the parallel
+       B stage runs eagerly and squashes. *)
     let gating (e : Input.edge) =
       (not e.Input.speculated) || policy.misspec = Serialize
+      || phase e.Input.dst <> Ir.Task.B
     in
     (* Compute the earliest legal start of a task given a base time, or
        None if some gating producer is not ready.  Also reports whether a
@@ -317,12 +323,20 @@ let simulate_loop (cfg : Machine.Config.t) ?(policy = default_policy)
              });
       push_finish tid
     in
-    (* Squash a task (and transitively any started consumer of it). *)
+    (* Squash a task (and transitively any started consumer of it).
+       Only phase-B tasks ever get here: speculated edges into A or C
+       gate their consumer's start instead (see gating), and the
+       transitive walk below skips non-B destinations for the same
+       reason — they started only after this producer's first finish,
+       through a gating edge. *)
     let rec squash tid =
       if start_time.(tid) >= 0 && not committed.(iteration tid) then begin
         Obs.Metrics.incr squash_count;
         generation.(tid) <- generation.(tid) + 1;
-        List.iter (fun (e : Input.edge) -> squash e.Input.dst) out_edges.(tid);
+        List.iter
+          (fun (e : Input.edge) ->
+            if phase e.Input.dst = Ir.Task.B then squash e.Input.dst)
+          out_edges.(tid);
         (match phase tid with
         | Ir.Task.B ->
           let slot = assigned_core.(tid) in
@@ -386,9 +400,9 @@ let simulate_loop (cfg : Machine.Config.t) ?(policy = default_policy)
                    task = tid;
                  })
         | Ir.Task.A | Ir.Task.C ->
-          (* A and C run non-speculatively in this plan; they are never
-             consumers of speculated edges under Squash. *)
-          ());
+          (* Unreachable: speculation into the serial stages gates their
+             start (see gating), so only B tasks are ever squashed. *)
+          assert false);
         start_time.(tid) <- -1;
         finish_time.(tid) <- -1;
         completed.(tid) <- false
@@ -644,7 +658,9 @@ let simulate_loop (cfg : Machine.Config.t) ?(policy = default_policy)
             if policy.misspec = Squash then
               List.iter
                 (fun (e : Input.edge) ->
-                  if e.Input.speculated && start_time.(e.Input.dst) >= 0
+                  if e.Input.speculated
+                     && phase e.Input.dst = Ir.Task.B
+                     && start_time.(e.Input.dst) >= 0
                      && start_time.(e.Input.dst) < finish_time.(tid)
                      && not committed.(iteration e.Input.dst)
                   then begin

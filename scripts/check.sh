@@ -39,9 +39,28 @@ dune exec bench/main.exe -- quick > /dev/null
 # Trace smoke: run one registry study with SIM_TRACE set, then parse the
 # emitted Chrome trace back and assert it has slices + counter tracks.
 trace_tmp="$(mktemp -t sim_trace.XXXXXX.json)"
-trap 'rm -f "$trace_tmp"' EXIT
+hist_tmp="$(mktemp -t bench_hist.XXXXXX.jsonl)"
+hist_bad="$(mktemp -t bench_hist_bad.XXXXXX.jsonl)"
+trap 'rm -f "$trace_tmp" "$hist_tmp" "$hist_bad"' EXIT
 SIM_TRACE="$trace_tmp" dune exec bin/repro.exe -- run -b 164.gzip -s small > /dev/null 2>&1
 dune exec scripts/validate_trace.exe -- "$trace_tmp"
 
-echo "check.sh: build + runtest + prop + bench smoke + trace smoke OK (schedules oracle-validated)"
-echo "perf record: BENCH_pipeline.json, BENCH_summary.json, BENCH_summary.csv"
+# Perf-regression gate: the bench smoke above appended to
+# BENCH_history.jsonl; fail if the last two entries show a span or
+# speedup regression beyond BENCH_TOLERANCE (default 2%).
+dune exec scripts/compare_bench.exe -- BENCH_history.jsonl
+
+# Gate self-test on throwaway copies: a duplicated entry must pass, and
+# an entry with every span inflated 10x must trip the gate.
+last_entry="$(tail -n 1 BENCH_history.jsonl)"
+printf '%s\n%s\n' "$last_entry" "$last_entry" > "$hist_tmp"
+dune exec scripts/compare_bench.exe -- "$hist_tmp" > /dev/null
+printf '%s\n' "$last_entry" > "$hist_bad"
+printf '%s\n' "$last_entry" | sed 's/"span": */"span":9/g' >> "$hist_bad"
+if dune exec scripts/compare_bench.exe -- "$hist_bad" > /dev/null 2>&1; then
+  echo "check.sh: compare_bench failed to flag an inflated span" >&2
+  exit 1
+fi
+
+echo "check.sh: build + runtest + prop + bench smoke + trace smoke + perf gate OK (schedules oracle-validated)"
+echo "perf record: BENCH_pipeline.json, BENCH_summary.json, BENCH_summary.csv, BENCH_history.jsonl"

@@ -1,0 +1,55 @@
+(* Diff the last two entries of a bench history file (JSONL, one entry
+   per bench run; see Obs_analysis.History) and exit non-zero when a
+   study's simulated span grew or speedup shrank beyond the tolerance.
+   Simulated numbers are deterministic, so a small tolerance catches
+   real regressions without flaking; wall-clock seconds are printed for
+   context but never gated.  Used by scripts/check.sh as the perf gate.
+
+     compare_bench [FILE]            default: BENCH_history.jsonl
+     BENCH_TOLERANCE=0.05            relative tolerance (fraction, default 0.02) *)
+
+module H = Obs_analysis.History
+
+let fail fmt = Printf.ksprintf (fun msg -> prerr_endline ("compare_bench: " ^ msg); exit 2) fmt
+
+let () =
+  let file =
+    match Array.length Sys.argv with
+    | 1 -> "BENCH_history.jsonl"
+    | 2 -> Sys.argv.(1)
+    | _ -> fail "usage: compare_bench [FILE]"
+  in
+  let tolerance =
+    match Sys.getenv_opt "BENCH_TOLERANCE" with
+    | None -> 0.02
+    | Some s -> (
+      match float_of_string_opt s with
+      | Some t when t >= 0. -> t
+      | _ -> fail "BENCH_TOLERANCE must be a non-negative fraction, got %S" s)
+  in
+  let entries = match H.load file with Ok es -> es | Error e -> fail "%s" e in
+  match List.rev entries with
+  | [] | [ _ ] ->
+    Printf.printf "compare_bench: %s has %d entr%s — nothing to compare\n" file
+      (List.length entries)
+      (if List.length entries = 1 then "y" else "ies");
+    exit 0
+  | newer :: older :: _ ->
+    Printf.printf "compare_bench: %s -> %s (%s, tolerance %.1f%%)\n" older.H.rev newer.H.rev
+      file (100. *. tolerance);
+    if older.H.config <> newer.H.config then
+      Printf.printf "  note: config digests differ (%s -> %s); comparing anyway\n"
+        older.H.config newer.H.config;
+    Printf.printf "  wall clock: %.1fs -> %.1fs (informational)\n" older.H.total_seconds
+      newer.H.total_seconds;
+    let regs = H.compare ~tolerance older newer in
+    if regs = [] then begin
+      Printf.printf "  no regressions across %d studies\n" (List.length newer.H.studies);
+      exit 0
+    end
+    else begin
+      List.iter
+        (fun r -> Format.printf "  REGRESSION %a@." H.pp_regression r)
+        regs;
+      exit 1
+    end

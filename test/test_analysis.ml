@@ -1,0 +1,207 @@
+(* Tests for lib/obs/analysis: the attribution engine's conservation
+   invariants over the full benchmark registry (oracle-style — every
+   core's stall segments tile [0, span] so totals sum to span x cores,
+   and the critical path's length equals the span), the stall/critpath
+   behavior on small hand-built loops, and the History perf gate. *)
+
+module A = Obs_analysis.Attribution
+module T = Obs_analysis.Timeline
+module C = Obs_analysis.Critpath
+module H = Obs_analysis.History
+
+(* ------------------------------------------------------------------ *)
+(* Registry sweep: both invariants on every study, machine sizes from
+   serial to beyond the paper's sweet spot, both misspec policies.      *)
+
+let registry_sweep () =
+  let policies =
+    [
+      { Sim.Sched.misspec = Sim.Sched.Serialize; forwarding = false };
+      { Sim.Sched.misspec = Sim.Sched.Squash; forwarding = false };
+    ]
+  in
+  List.iter
+    (fun (s : Benchmarks.Study.t) ->
+      let profile = s.Benchmarks.Study.run ~scale:Benchmarks.Study.Small in
+      let built = Core.Framework.build ~plan:s.Benchmarks.Study.plan profile in
+      List.iter
+        (function
+          | Sim.Input.Serial _ -> ()
+          | Sim.Input.Parallel loop ->
+            List.iter
+              (fun cores ->
+                List.iter
+                  (fun policy ->
+                    let cfg = Machine.Config.default ~cores in
+                    (* validate:true also runs the schedule oracle. *)
+                    let a = A.run cfg ~policy ~validate:true loop in
+                    (match A.validate a with
+                    | Ok () -> ()
+                    | Error m ->
+                      Alcotest.failf "%s %s cores=%d: %s" s.Benchmarks.Study.spec_name
+                        loop.Sim.Input.name cores m);
+                    Alcotest.(check int)
+                      (Printf.sprintf "%s cores=%d: stalls sum to span*cores"
+                         loop.Sim.Input.name cores)
+                      (a.A.span * cores)
+                      (List.fold_left (fun acc c -> acc + T.total a.A.timeline c) 0 T.categories);
+                    Alcotest.(check int)
+                      (Printf.sprintf "%s cores=%d: path length = span" loop.Sim.Input.name
+                         cores)
+                      a.A.span (C.length a.A.critpath))
+                  policies)
+              [ 1; 2; 3; 8 ])
+        built.Core.Framework.input.Sim.Input.segments)
+    Benchmarks.Registry.all
+
+(* ------------------------------------------------------------------ *)
+(* Hand-built loops: the taxonomy behaves as designed                   *)
+
+let task id iteration phase work = Ir.Task.make ~id ~iteration ~phase ~work ()
+
+(* A C-bound loop: trivial A and B, heavy C.  The C core should be busy
+   nearly the whole span and the diagnosis should name the C stage. *)
+let c_bound_diagnosis () =
+  let tasks =
+    Array.init 12 (fun i ->
+        let iter = i / 3 in
+        match i mod 3 with
+        | 0 -> task i iter Ir.Task.A 1
+        | 1 -> task i iter Ir.Task.B 2
+        | _ -> task i iter Ir.Task.C 40)
+  in
+  let loop = Sim.Input.make_loop ~name:"cbound" ~tasks ~edges:[] in
+  let a = A.run (Machine.Config.default ~cores:4) loop in
+  A.validate_exn a;
+  Alcotest.(check string) "binding bound" "C-stage" (A.bound_name a.A.binding);
+  let diag = Obs_analysis.Explain.diagnose a in
+  Alcotest.(check bool) (Printf.sprintf "diagnosis %S names C-stage" diag) true
+    (String.length diag >= 7 && String.sub diag 0 7 = "C-stage")
+
+(* With one core the loop is serial: one busy line, no stalls. *)
+let serial_all_busy () =
+  let tasks = Array.init 6 (fun i -> task i (i / 3) (if i mod 3 = 0 then Ir.Task.A else Ir.Task.B) 5) in
+  let loop = Sim.Input.make_loop ~name:"serial" ~tasks ~edges:[] in
+  let a = A.run (Machine.Config.default ~cores:1) loop in
+  A.validate_exn a;
+  Alcotest.(check int) "span = total work" (Sim.Input.loop_work loop) a.A.span;
+  Alcotest.(check int) "core 0 fully busy" a.A.span (T.core_total a.A.timeline.T.cores.(0) T.Busy)
+
+(* Squash policy: wasted work shows up in squash_waste and the path
+   still tiles the span. *)
+let squash_waste_counted () =
+  let tasks =
+    Array.init 9 (fun i ->
+        let iter = i / 3 in
+        match i mod 3 with
+        | 0 -> task i iter Ir.Task.A 3
+        | 1 -> task i iter Ir.Task.B 20
+        | _ -> task i iter Ir.Task.C 2)
+  in
+  (* Speculated edge between consecutive iterations' B tasks: later Bs
+     start early on other cores and get squashed when the producer
+     finishes. *)
+  let edges =
+    [
+      { Sim.Input.src = 1; dst = 4; speculated = true; src_offset = 0; dst_offset = 0 };
+      { Sim.Input.src = 4; dst = 7; speculated = true; src_offset = 0; dst_offset = 0 };
+    ]
+  in
+  let loop = Sim.Input.make_loop ~name:"squashy" ~tasks ~edges in
+  let policy = { Sim.Sched.misspec = Sim.Sched.Squash; forwarding = false } in
+  let a = A.run (Machine.Config.default ~cores:8) ~policy ~validate:true loop in
+  A.validate_exn a;
+  Alcotest.(check bool) "squashes happened" true (a.A.squashes > 0);
+  Alcotest.(check bool) "waste accounted" true (a.A.squash_waste > 0)
+
+(* ------------------------------------------------------------------ *)
+(* History                                                              *)
+
+let entry rev studies =
+  {
+    H.rev;
+    config = "cfg";
+    scale = "medium";
+    jobs = 4;
+    total_seconds = 1.5;
+    studies;
+  }
+
+let study name span speedup =
+  { H.study = name; threads = 8; span; speedup; seconds = 0.125 }
+
+let history_roundtrip () =
+  let e = entry "abc1234" [ study "164.gzip" 59289 5.75; study "181.mcf" 1000 2.5 ] in
+  match Obs.Json.parse (Obs.Json.to_string (H.entry_to_json e)) with
+  | Error m -> Alcotest.failf "reparse failed: %s" m
+  | Ok j -> (
+    match H.entry_of_json j with
+    | Error m -> Alcotest.failf "decode failed: %s" m
+    | Ok e' -> Alcotest.(check bool) "round-trips" true (e = e'))
+
+let history_append_load () =
+  let file = Filename.temp_file "hist" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      H.append file (entry "aaa" [ study "x" 100 2.0 ]);
+      H.append file (entry "bbb" [ study "x" 100 2.0 ]);
+      match H.load file with
+      | Error m -> Alcotest.failf "load failed: %s" m
+      | Ok es ->
+        Alcotest.(check int) "two entries" 2 (List.length es);
+        Alcotest.(check (list string)) "in file order" [ "aaa"; "bbb" ]
+          (List.map (fun e -> e.H.rev) es))
+
+let compare_no_regression () =
+  let old_e = entry "aaa" [ study "x" 1000 4.0; study "y" 500 2.0 ] in
+  (* identical numbers, and a 1% wobble inside the default tolerance *)
+  let new_e = entry "bbb" [ study "x" 1010 4.0; study "y" 500 2.0 ] in
+  Alcotest.(check int) "no regressions" 0 (List.length (H.compare old_e new_e))
+
+let compare_flags_span_inflation () =
+  let old_e = entry "aaa" [ study "x" 1000 4.0 ] in
+  let new_e = entry "bbb" [ study "x" 1100 4.0 ] in
+  match H.compare old_e new_e with
+  | [ r ] ->
+    Alcotest.(check string) "study" "x" r.H.r_study;
+    Alcotest.(check string) "metric" "span" r.H.metric;
+    Alcotest.(check bool) "delta is +10%" true (abs_float (r.H.delta_pct -. 10.) < 1e-9)
+  | rs -> Alcotest.failf "expected one regression, got %d" (List.length rs)
+
+let compare_flags_speedup_drop () =
+  let old_e = entry "aaa" [ study "x" 1000 4.0 ] in
+  let new_e = entry "bbb" [ study "x" 1000 3.0 ] in
+  match H.compare old_e new_e with
+  | [ r ] -> Alcotest.(check string) "metric" "speedup" r.H.metric
+  | rs -> Alcotest.failf "expected one regression, got %d" (List.length rs)
+
+let compare_respects_tolerance () =
+  let old_e = entry "aaa" [ study "x" 1000 4.0 ] in
+  let new_e = entry "bbb" [ study "x" 1100 4.0 ] in
+  Alcotest.(check int) "15% tolerance swallows +10%" 0
+    (List.length (H.compare ~tolerance:0.15 old_e new_e));
+  (* improvements are never regressions *)
+  let faster = entry "ccc" [ study "x" 900 5.0 ] in
+  Alcotest.(check int) "improvement passes" 0 (List.length (H.compare old_e faster))
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "invariants",
+        [
+          Alcotest.test_case "registry sweep (both policies)" `Slow registry_sweep;
+          Alcotest.test_case "C-bound diagnosis" `Quick c_bound_diagnosis;
+          Alcotest.test_case "serial all busy" `Quick serial_all_busy;
+          Alcotest.test_case "squash waste counted" `Quick squash_waste_counted;
+        ] );
+      ( "history",
+        [
+          Alcotest.test_case "entry round-trips" `Quick history_roundtrip;
+          Alcotest.test_case "append and load" `Quick history_append_load;
+          Alcotest.test_case "identical runs pass" `Quick compare_no_regression;
+          Alcotest.test_case "span inflation flagged" `Quick compare_flags_span_inflation;
+          Alcotest.test_case "speedup drop flagged" `Quick compare_flags_speedup_drop;
+          Alcotest.test_case "tolerance respected" `Quick compare_respects_tolerance;
+        ] );
+    ]

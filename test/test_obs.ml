@@ -39,6 +39,64 @@ let json_rejects_garbage () =
   bad "{\"a\": 1} trailing";
   bad "\"unterminated"
 
+(* Every malformed input must come back as a located Error — never an
+   exception, never a silent prefix-parse. *)
+let json_error_paths () =
+  let bad s =
+    match J.parse s with
+    | Ok _ -> Alcotest.failf "accepted %S" s
+    | Error e ->
+      (* Errors carry a byte position, either "at byte N: reason" or
+         "reason at N". *)
+      let contains needle =
+        let n = String.length e and nn = String.length needle in
+        let rec go i = i + nn <= n && (String.sub e i nn = needle || go (i + 1)) in
+        go 0
+      in
+      let located = contains "at byte" || contains " at " in
+      Alcotest.(check bool) (Printf.sprintf "error for %S is located (%s)" s e) true located
+  in
+  (* truncated literals *)
+  bad "tru";
+  bad "truX";
+  bad "fals";
+  bad "nul";
+  (* truncated numbers and structures *)
+  bad "-";
+  bad "[1";
+  bad "{\"a\"";
+  bad "{\"a\":}";
+  (* trailing garbage after a complete value *)
+  bad "[] []";
+  bad "1 2";
+  (* bad and truncated escapes *)
+  bad "\"\\x\"";
+  bad "\"\\u12\"";
+  bad "\"\\u123g\"";
+  bad "\"\\";
+  (* control character inside a string *)
+  bad "\"a\tb\""
+
+(* Nesting past the parser's cap must fail with an error, not blow the
+   stack; nesting under it must still work. *)
+let json_deep_nesting () =
+  let deep n = String.make n '[' ^ String.make n ']' in
+  (match J.parse (deep 100) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "rejected 100-deep nesting: %s" e);
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  (match J.parse (deep 600) with
+  | Ok _ -> Alcotest.fail "accepted 600-deep nesting"
+  | Error e -> Alcotest.(check bool) "names the cap" true (contains e "nesting"));
+  (* An unclosed 100k-bracket prefix must also return, not crash. *)
+  match J.parse (String.make 100_000 '[') with
+  | Ok _ -> Alcotest.fail "accepted unclosed brackets"
+  | Error _ -> ()
+
 let json_accessors () =
   let v = J.Obj [ ("a", J.Int 3); ("b", J.Arr [ J.Str "x" ]) ] in
   Alcotest.(check (option int)) "member int" (Some 3) (Option.bind (J.member "a" v) J.to_int);
@@ -220,6 +278,51 @@ let span_across_pool_domains () =
     Alcotest.(check (float 1e-6)) "total is the sum" 2016.0 row.Obs.Span.total_s
   | rows -> Alcotest.failf "expected 1 aggregate, got %d" (List.length rows)
 
+(* A synthetic stream exercising the export paths the registry study
+   doesn't pin down: dispatch/wake instants and out-queue counters. *)
+let trace_instants_and_out_queue () =
+  let events =
+    [
+      E.Task_start { time = 0; task = 0; core = 0; phase = 'A'; iteration = 0; work = 4 };
+      E.Task_finish { time = 4; task = 0; core = 0 };
+      E.Dispatch { time = 4; task = 1; slot = 2 };
+      E.Wake { time = 5 };
+      E.Queue_push { time = 6; queue = E.Out_queue; slot = 2; occupancy = 1; task = 1 };
+      E.Queue_pop { time = 9; queue = E.Out_queue; slot = 2; occupancy = 0; task = 1 };
+    ]
+  in
+  let json = Obs.Trace_event.export events in
+  let evs =
+    match Option.bind (J.member "traceEvents" json) J.to_list with
+    | Some l -> l
+    | None -> Alcotest.fail "no traceEvents"
+  in
+  let field k e = J.member k e in
+  let str k e = Option.bind (field k e) J.to_str in
+  let int k e = Option.bind (field k e) J.to_int in
+  let find name =
+    match List.find_opt (fun e -> str "name" e = Some name) evs with
+    | Some e -> e
+    | None -> Alcotest.failf "no event named %S" name
+  in
+  let dispatch = find "dispatch 1->slot 2" in
+  Alcotest.(check (option string)) "dispatch is an instant" (Some "i") (str "ph" dispatch);
+  Alcotest.(check (option int)) "dispatch time" (Some 4) (int "ts" dispatch);
+  Alcotest.(check (option int)) "dispatch slot arg" (Some 2)
+    (Option.bind (field "args" dispatch) (int "slot"));
+  let wake = find "wake" in
+  Alcotest.(check (option string)) "wake is an instant" (Some "i") (str "ph" wake);
+  Alcotest.(check (option int)) "wake time" (Some 5) (int "ts" wake);
+  (* Both push and pop sample the same out-queue counter track with the
+     occupancy after the operation. *)
+  let samples =
+    List.filter (fun e -> str "name" e = Some "out-queue 2" && str "ph" e = Some "C") evs
+  in
+  Alcotest.(check (list (pair (option int) (option int))))
+    "out-queue track samples (ts, occupancy)"
+    [ (Some 6, Some 1); (Some 9, Some 0) ]
+    (List.map (fun e -> (int "ts" e, Option.bind (field "args" e) (int "occupancy"))) samples)
+
 (* ------------------------------------------------------------------ *)
 (* Summary emitters                                                    *)
 
@@ -252,6 +355,8 @@ let () =
         [
           Alcotest.test_case "round trip" `Quick json_round_trip;
           Alcotest.test_case "rejects garbage" `Quick json_rejects_garbage;
+          Alcotest.test_case "error paths located" `Quick json_error_paths;
+          Alcotest.test_case "deep nesting rejected" `Quick json_deep_nesting;
           Alcotest.test_case "accessors" `Quick json_accessors;
         ] );
       ( "metrics",
@@ -270,6 +375,7 @@ let () =
         [
           Alcotest.test_case "registry study exports" `Quick trace_export_registry_study;
           Alcotest.test_case "null sink is read-only" `Quick trace_null_sink_changes_nothing;
+          Alcotest.test_case "instants and out-queue track" `Quick trace_instants_and_out_queue;
         ] );
       ( "spans",
         [

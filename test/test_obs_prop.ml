@@ -1,0 +1,37 @@
+(* Property: Obs.Json emit -> parse is the identity, over random values
+   of bounded depth.  Floats are excluded by design: the emitter writes
+   integer-valued floats as "%.0f" (which re-parse as Int) and everything
+   else at %.6g precision, so Float round-trips only up to representation
+   — the structural property holds for every other constructor. *)
+
+module G = Check.Gen
+module R = Check.Runner
+module J = Obs.Json
+
+(* Arbitrary bytes, including quotes, backslashes and control
+   characters, so the escaper's every branch is exercised. *)
+let string_gen = G.string_size ~char:G.byte_char (G.int_bound 12)
+
+let leaf_gens =
+  [
+    G.return J.Null;
+    G.map (fun b -> J.Bool b) G.bool;
+    G.map (fun i -> J.Int i) (G.int_range (-1_000_000_000) 1_000_000_000);
+    G.map (fun s -> J.Str s) string_gen;
+  ]
+
+let rec value_gen depth =
+  if depth = 0 then G.oneof leaf_gens
+  else
+    G.oneof
+      (leaf_gens
+      @ [
+          G.map (fun l -> J.Arr l) (G.list_size (G.int_bound 4) (value_gen (depth - 1)));
+          G.map
+            (fun kvs -> J.Obj kvs)
+            (G.list_size (G.int_bound 4) (G.pair string_gen (value_gen (depth - 1))));
+        ])
+
+let () =
+  R.run_prop_exn ~print:J.to_string ~name:"json parse . to_string = id" (value_gen 3)
+    (fun v -> J.parse (J.to_string v) = Ok v)
