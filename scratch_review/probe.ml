@@ -1,0 +1,40 @@
+module A = Obs_analysis.Attribution
+module C = Obs_analysis.Critpath
+let task id iteration phase work = Ir.Task.make ~id ~iteration ~phase ~work ()
+let () =
+  let tasks =
+    Array.init 9 (fun i ->
+        let iter = i / 3 in
+        match i mod 3 with
+        | 0 -> task i iter Ir.Task.A 3
+        | 1 -> task i iter Ir.Task.B 20
+        | _ -> task i iter Ir.Task.C 2)
+  in
+  let edges =
+    [
+      { Sim.Input.src = 1; dst = 4; speculated = true; src_offset = 0; dst_offset = 0 };
+      { Sim.Input.src = 4; dst = 7; speculated = true; src_offset = 0; dst_offset = 0 };
+    ]
+  in
+  let loop = Sim.Input.make_loop ~name:"squashy" ~tasks ~edges in
+  let policy = { Sim.Sched.misspec = Sim.Sched.Squash; forwarding = false } in
+  let a = A.run (Machine.Config.default ~cores:8) ~policy ~validate:true loop in
+  A.validate_exn a;
+  Printf.printf "squashes=%d waste=%d\n" a.A.squashes a.A.squash_waste;
+  List.iter (fun (k, v) -> Printf.printf "%s=%d\n" (C.edge_kind_name k) v) (C.by_edge a.A.critpath);
+  (* also: speculated edge into a C consumer under Squash *)
+  let tasks2 =
+    Array.init 6 (fun i ->
+        let iter = i / 3 in
+        match i mod 3 with
+        | 0 -> task i iter Ir.Task.A 2
+        | 1 -> task i iter Ir.Task.B 5
+        | _ -> task i iter Ir.Task.C 10)
+  in
+  let edges2 = [ { Sim.Input.src = 2; dst = 5; speculated = true; src_offset = 0; dst_offset = 0 } ] in
+  let loop2 = Sim.Input.make_loop ~name:"spec-into-c" ~tasks ~edges:edges2 in
+  ignore tasks2;
+  let a2 = A.run (Machine.Config.default ~cores:8) ~policy ~validate:true loop2 in
+  A.validate_exn a2;
+  Printf.printf "--- spec-into-c ---\n";
+  List.iter (fun (k, v) -> Printf.printf "%s=%d\n" (C.edge_kind_name k) v) (C.by_edge a2.A.critpath)
