@@ -4,6 +4,7 @@
      repro list                      enumerate benchmarks
      repro run -b 164.gzip           sweep one benchmark
      repro explain -b 256.bzip2     stall/critical-path attribution
+     repro lint -b 197.parser        plan soundness + race lint
      repro table1 / table2           the paper's tables
      repro figure -n 4               figure by number (3..7)
      repro ablate -b 300.twolf       annotated vs baseline plan
@@ -94,6 +95,14 @@ let find_study name =
     Error (`Msg (Printf.sprintf "unknown benchmark %s (try: %s)" name
                    (String.concat ", " Benchmarks.Registry.names)))
 
+(* Every per-benchmark subcommand starts the same way: resolve the -b
+   argument against the registry, fail with the candidate list otherwise. *)
+let with_study name f =
+  match find_study name with Error _ as e -> e | Ok study -> f study
+
+let threads_arg =
+  Arg.(value & opt int 8 & info [ "t"; "threads" ] ~docv:"N" ~doc:"Machine size.")
+
 let list_cmd =
   let run () =
     List.iter
@@ -108,9 +117,7 @@ let list_cmd =
 
 let run_cmd =
   let run name scale jobs trace summary =
-    match find_study name with
-    | Error e -> Error e
-    | Ok study ->
+    with_study name (fun study ->
       with_pool jobs (fun pool ->
           let e = Core.Experiment.run ~pool ~scale study in
           Core.Report.diagnostics Format.std_formatter e;
@@ -124,19 +131,14 @@ let run_cmd =
           (match summary with
           | None -> ()
           | Some file -> write_summary ~threads input file);
-          Ok ())
+          Ok ()))
   in
   Cmd.v (Cmd.info "run" ~doc:"Sweep one benchmark across thread counts.")
     Term.(term_result (const run $ bench_arg $ scale_arg $ jobs_arg $ trace_arg $ summary_arg))
 
 let explain_cmd =
-  let threads_arg =
-    Arg.(value & opt int 8 & info [ "t"; "threads" ] ~docv:"N" ~doc:"Machine size.")
-  in
   let run name scale threads =
-    match find_study name with
-    | Error e -> Error e
-    | Ok study ->
+    with_study name (fun study ->
       let profile = study.Benchmarks.Study.run ~scale in
       let built = Core.Framework.build ~plan:study.Benchmarks.Study.plan profile in
       let cfg = Machine.Config.default ~cores:threads in
@@ -152,7 +154,7 @@ let explain_cmd =
             Obs_analysis.Explain.report Format.std_formatter a;
             Format.printf "@.")
         built.Core.Framework.input.Sim.Input.segments;
-      Ok ()
+      Ok ())
   in
   Cmd.v
     (Cmd.info "explain"
@@ -212,9 +214,7 @@ let figure_cmd =
 
 let ablate_cmd =
   let run name scale jobs =
-    match find_study name with
-    | Error e -> Error e
-    | Ok study ->
+    with_study name (fun study ->
       if study.Benchmarks.Study.baseline_plan = None then
         Error (`Msg (name ^ " has no annotation-free baseline plan"))
       else
@@ -225,20 +225,15 @@ let ablate_cmd =
             Core.Report.diagnostics Format.std_formatter annotated;
             Format.printf "without annotations:@.";
             Core.Report.diagnostics Format.std_formatter baseline;
-            Ok ())
+            Ok ()))
   in
   Cmd.v
     (Cmd.info "ablate" ~doc:"Compare a study's annotated plan with its baseline plan.")
     Term.(term_result (const run $ bench_arg $ scale_arg $ jobs_arg))
 
 let gantt_cmd =
-  let threads_arg =
-    Arg.(value & opt int 8 & info [ "t"; "threads" ] ~docv:"N" ~doc:"Machine size.")
-  in
   let run name scale threads trace =
-    match find_study name with
-    | Error e -> Error e
-    | Ok study ->
+    with_study name (fun study ->
       let profile = study.Benchmarks.Study.run ~scale in
       let built = Core.Framework.build ~plan:study.Benchmarks.Study.plan profile in
       List.iter
@@ -252,29 +247,25 @@ let gantt_cmd =
       (match trace_file trace with
       | None -> ()
       | Some file -> write_trace ~threads built.Core.Framework.input file);
-      Ok ()
+      Ok ())
   in
   Cmd.v (Cmd.info "gantt" ~doc:"Render a benchmark's simulated schedule as ASCII Gantt rows.")
     Term.(term_result (const run $ bench_arg $ scale_arg $ threads_arg $ trace_arg))
 
 let chart_cmd =
   let run name scale jobs =
-    match find_study name with
-    | Error e -> Error e
-    | Ok study ->
+    with_study name (fun study ->
       with_pool jobs (fun pool ->
           let e = Core.Experiment.run ~pool ~scale study in
           Core.Chart.pp Format.std_formatter [ e.Core.Experiment.series ];
-          Ok ())
+          Ok ()))
   in
   Cmd.v (Cmd.info "chart" ~doc:"Plot a benchmark's speedup curve as an ASCII chart.")
     Term.(term_result (const run $ bench_arg $ scale_arg $ jobs_arg))
 
 let auto_cmd =
   let run name scale =
-    match find_study name with
-    | Error e -> Error e
-    | Ok study ->
+    with_study name (fun study ->
       let profile = study.Benchmarks.Study.run ~scale in
       let trace = Profiling.Profile.trace profile in
       List.iter
@@ -288,7 +279,7 @@ let auto_cmd =
           Format.printf "loop %s:@." loop.Ir.Trace.loop_name;
           Speculation.Auto_plan.pp_profile Format.std_formatter profiles)
         (Ir.Trace.loops trace);
-      Ok ()
+      Ok ())
   in
   Cmd.v
     (Cmd.info "auto"
@@ -300,9 +291,7 @@ let multistage_cmd =
     Arg.(value & opt int 3 & info [ "k"; "stages" ] ~docv:"K" ~doc:"Pipeline stage count.")
   in
   let run name k =
-    match find_study name with
-    | Error e -> Error e
-    | Ok study ->
+    with_study name (fun study ->
       let pdg = study.Benchmarks.Study.pdg () in
       let stages =
         Dswp.Multi_stage.partition pdg ~stages:k
@@ -312,11 +301,89 @@ let multistage_cmd =
       Format.printf "bottleneck weight %.3f; throughput bound at 32 threads %.1fx@."
         (Dswp.Multi_stage.bottleneck stages)
         (Dswp.Multi_stage.throughput_bound stages ~threads:32);
-      Ok ()
+      Ok ())
   in
   Cmd.v
     (Cmd.info "multistage" ~doc:"Partition a benchmark's PDG into k pipeline stages.")
     Term.(term_result (const run $ bench_arg $ stages_arg))
+
+(* Re-annotate every function of every group without its rollback: the
+   registry shape the strip-rollback mutation wants. *)
+let strip_rollbacks c =
+  let c' = Annotations.Commutative.create () in
+  List.iter
+    (fun group ->
+      List.iter
+        (fun fn -> Annotations.Commutative.annotate c' ~fn ~group ())
+        (Annotations.Commutative.members c ~group))
+    (Annotations.Commutative.groups c);
+  c'
+
+let mutations =
+  [
+    ("no-alias", `No_alias);
+    ("no-value", `No_value);
+    ("no-sync", `No_sync);
+    ("unannotate", `Unannotate);
+    ("strip-rollback", `Strip_rollback);
+  ]
+
+let mutate_plan kind (plan : Speculation.Spec_plan.t) =
+  let open Speculation.Spec_plan in
+  match kind with
+  | `No_alias -> { plan with alias = No_alias }
+  | `No_value -> { plan with value_locs = [] }
+  | `No_sync -> { plan with sync_locs = [] }
+  | `Unannotate -> { plan with commutative = Annotations.Commutative.create () }
+  | `Strip_rollback -> { plan with commutative = strip_rollbacks plan.commutative }
+
+let lint_cmd =
+  let strict_arg =
+    Arg.(value & flag
+         & info [ "strict" ] ~doc:"Treat warning-severity findings as blocking too.")
+  in
+  let mutate_arg =
+    Arg.(value & opt (some (enum mutations)) None
+         & info [ "mutate" ] ~docv:"KIND"
+             ~doc:"Lint against a deliberately corrupted copy of the plan while \
+                   keeping the partition the original plan produced (the stale- \
+                   artifact scenario). One of: no-alias, no-value, no-sync, \
+                   unannotate, strip-rollback. The lint must then fail; used by \
+                   scripts/check.sh to prove each diagnostic fires.")
+  in
+  let run name scale strict mutate =
+    with_study name (fun study ->
+      let pdg = study.Benchmarks.Study.pdg () in
+      let plan = study.Benchmarks.Study.plan in
+      (* Partition under the *shipped* plan; --mutate only swaps the plan
+         the lint passes see. *)
+      let partition =
+        Dswp.Partition.partition pdg
+          ~enabled:(Speculation.Spec_plan.enabled_breakers plan)
+      in
+      let lint_plan = match mutate with None -> plan | Some k -> mutate_plan k plan in
+      let profile = study.Benchmarks.Study.run ~scale in
+      let findings = Lint.Driver.run ~pdg ~partition ~plan:lint_plan ~profile () in
+      Format.printf "%s %s:@." study.Benchmarks.Study.spec_name
+        (match mutate with
+        | None -> "shipped plan"
+        | Some k -> Printf.sprintf "plan mutated with %s"
+                      (fst (List.find (fun (_, v) -> v = k) mutations)));
+      Lint.Diagnostic.pp_report Format.std_formatter findings;
+      (* Cmdliner's term_result reserves its own exit codes; the documented
+         contract (0 clean / 1 findings) needs an explicit exit. *)
+      let code = Lint.Diagnostic.exit_code ~strict findings in
+      if code <> 0 then exit code;
+      Ok ())
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Check a benchmark's PDG, partition and speculation plan for soundness \
+             (structural lint, unbroken dependences, annotation hygiene) and replay \
+             its access logs through a happens-before race detector. Exits 0 when \
+             clean, 1 when any error-severity finding exists ($(b,--strict) promotes \
+             warnings).")
+    Term.(term_result (const run $ bench_arg $ scale_arg $ strict_arg $ mutate_arg))
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
@@ -328,6 +395,6 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           [
-            list_cmd; run_cmd; explain_cmd; table1_cmd; table2_cmd; figure_cmd; ablate_cmd;
-            gantt_cmd; chart_cmd; auto_cmd; multistage_cmd;
+            list_cmd; run_cmd; explain_cmd; lint_cmd; table1_cmd; table2_cmd; figure_cmd;
+            ablate_cmd; gantt_cmd; chart_cmd; auto_cmd; multistage_cmd;
           ]))

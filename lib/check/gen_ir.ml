@@ -157,21 +157,54 @@ let trace ?(max_segments = 4) () =
 
 (* Random static PDG: an acyclic weighted dependence graph (edges point
    from lower to higher node ids) with a sprinkling of loop-carried
-   edges and breakers, the shape the DSWP partitioner consumes. *)
-let pdg ?(max_nodes = 8) () =
+   edges, the shape the DSWP partitioner consumes.  [breakers] decorates
+   loop-carried edges with kind-appropriate breakers; [self_deps] adds
+   loop-carried self-edges (the recurrences that keep nodes out of the
+   parallel stage until broken). *)
+let pdg ?(max_nodes = 8) ?(breakers = false) ?(self_deps = false) () =
   let open Gen in
   let* nodes = list_size (int_range 1 max_nodes) (pair (int_range 1 100) bool) in
   let n = List.length nodes in
   let total = float_of_int (List.fold_left (fun acc (w, _) -> acc + w) 0 nodes) in
+  (* Only breakers the structural lint accepts for the edge kind; register
+     recurrences are unbreakable. *)
+  let breaker_for kind =
+    if not breakers then return None
+    else
+      match kind with
+      | Ir.Dep.Memory ->
+        oneofl
+          [
+            None;
+            Some Ir.Pdg.Alias_speculation;
+            Some Ir.Pdg.Value_speculation;
+            Some Ir.Pdg.Silent_store;
+            Some Ir.Pdg.Ybranch_annotation;
+          ]
+      | Ir.Dep.Control -> oneofl [ None; Some Ir.Pdg.Control_speculation ]
+      | Ir.Dep.Register -> return None
+  in
+  let prob = map (fun p -> float_of_int p /. 100.0) (int_range 0 100) in
   let edge =
     let* src = int_range 0 (max 0 (n - 2)) in
     let* dst = int_range (min (src + 1) (n - 1)) (n - 1) in
     let* kind = oneofl [ Ir.Dep.Register; Ir.Dep.Memory; Ir.Dep.Control ] in
     let* loop_carried = bool in
-    let* prob = map (fun p -> float_of_int p /. 100.0) (int_range 0 100) in
-    return (src, dst, kind, loop_carried, prob)
+    let* probability = prob in
+    let* breaker = if loop_carried then breaker_for kind else return None in
+    return (src, dst, kind, loop_carried, probability, breaker)
   in
   let* edges = list_size (int_range 0 (2 * n)) edge in
+  let self_edge =
+    let* node = int_range 0 (n - 1) in
+    let* kind = oneofl [ Ir.Dep.Memory; Ir.Dep.Control ] in
+    let* probability = prob in
+    let* breaker = breaker_for kind in
+    return (node, node, kind, true, probability, breaker)
+  in
+  let* selfs =
+    if self_deps then list_size (int_range 0 n) self_edge else return []
+  in
   let g = Ir.Pdg.create "gen-pdg" in
   List.iteri
     (fun i (w, r) ->
@@ -182,8 +215,12 @@ let pdg ?(max_nodes = 8) () =
            ~replicable:r ()))
     nodes;
   List.iter
-    (fun (src, dst, kind, loop_carried, probability) ->
+    (fun (src, dst, kind, loop_carried, probability, breaker) ->
       if src <> dst && src < n && dst < n then
-        Ir.Pdg.add_edge g ~src ~dst ~kind ~loop_carried ~probability ())
+        Ir.Pdg.add_edge g ~src ~dst ~kind ~loop_carried ~probability ?breaker ())
     edges;
+  List.iter
+    (fun (src, dst, kind, loop_carried, probability, breaker) ->
+      Ir.Pdg.add_edge g ~src ~dst ~kind ~loop_carried ~probability ?breaker ())
+    selfs;
   return g

@@ -53,5 +53,8 @@ val policy : Sim.Sched.policy Gen.t
 val trace : ?max_segments:int -> unit -> Ir.Trace.t Gen.t
 (** Always passes [Ir.Trace.validate]. *)
 
-val pdg : ?max_nodes:int -> unit -> Ir.Pdg.t Gen.t
-(** Acyclic (edges point from lower to higher ids), normalised weights. *)
+val pdg : ?max_nodes:int -> ?breakers:bool -> ?self_deps:bool -> unit -> Ir.Pdg.t Gen.t
+(** Acyclic (edges point from lower to higher ids), normalised weights.
+    [breakers] (default false) decorates loop-carried edges with
+    kind-appropriate breakers; [self_deps] (default false) adds
+    loop-carried self-edges, so the graph is no longer forward-only. *)

@@ -98,15 +98,7 @@ let build_auto ?commutative profile =
   let default = Speculation.Spec_plan.make () in
   (build ~plan_for ~plan:default profile, plans)
 
-let enabled_breakers (plan : Speculation.Spec_plan.t) (b : Ir.Pdg.breaker) =
-  match b with
-  | Ir.Pdg.Alias_speculation -> plan.Speculation.Spec_plan.alias <> Speculation.Spec_plan.No_alias
-  | Ir.Pdg.Value_speculation -> plan.Speculation.Spec_plan.value_locs <> []
-  | Ir.Pdg.Control_speculation -> plan.Speculation.Spec_plan.control_speculated
-  | Ir.Pdg.Silent_store -> plan.Speculation.Spec_plan.silent_stores
-  | Ir.Pdg.Commutative_annotation g ->
-    List.mem g (Speculation.Spec_plan.commutative_groups plan)
-  | Ir.Pdg.Ybranch_annotation -> true
+let enabled_breakers = Speculation.Spec_plan.enabled_breakers
 
 let validate_partition pdg ~plan ~expected_parallel =
   let partition = Dswp.Partition.partition pdg ~enabled:(enabled_breakers plan) in

@@ -38,6 +38,8 @@ let add_node t ~label ~weight ?(replicable = false) () =
 let add_edge t ~src ~dst ~kind ?(loop_carried = false) ?(probability = 1.0) ?breaker () =
   if src < 0 || src >= t.next_id || dst < 0 || dst >= t.next_id then
     invalid_arg "Pdg.add_edge: unknown node";
+  if src = dst && not loop_carried then
+    invalid_arg "Pdg.add_edge: self-edge must be loop_carried";
   t.edge_list <- { src; dst; kind; loop_carried; probability; breaker } :: t.edge_list
 
 let nodes t = List.rev t.node_list

@@ -53,6 +53,10 @@ val add_edge :
   ?breaker:breaker ->
   unit ->
   unit
+(** Raises [Invalid_argument] if an endpoint is unknown, or on a self-edge
+    that is not loop-carried: within one iteration a region trivially
+    depends on itself, so the only meaningful self-edge is the recurrence
+    from one iteration's instance to the next ([loop_carried = true]). *)
 
 val nodes : t -> node list
 

@@ -1,0 +1,39 @@
+let unknown_loc_warnings (plan : Speculation.Spec_plan.t) profile =
+  let warn field name =
+    Diagnostic.make ~kind:Diagnostic.Bad_annotation ~severity:Diagnostic.Warning
+      ~where:(Printf.sprintf "plan %s" field)
+      ~hint:"likely a typo, or a plan written for a larger workload scale"
+      (Printf.sprintf "location '%s' was never touched by the profiled run" name)
+  in
+  let missing field names =
+    List.filter_map
+      (fun name ->
+        match Profiling.Profile.loc_id profile name with
+        | Some _ -> None
+        | None -> Some (warn field name))
+      names
+  in
+  missing "sync_locs" plan.Speculation.Spec_plan.sync_locs
+  @ missing "value_locs" plan.Speculation.Spec_plan.value_locs
+
+let run ~pdg ?partition ~plan ?profile () =
+  let partition =
+    match partition with
+    | Some p -> p
+    | None ->
+      Dswp.Partition.partition pdg
+        ~enabled:(Speculation.Spec_plan.enabled_breakers plan)
+  in
+  let static = Pdg_check.check pdg @ Plan_check.check ~pdg ~partition ~plan in
+  match profile with
+  | None -> static
+  | Some profile ->
+    let races =
+      List.concat_map
+        (fun (loop : Ir.Trace.loop) ->
+          let log = Profiling.Profile.log_of profile loop.Ir.Trace.loop_name in
+          Race_check.check ~plan ~loc_name:(Profiling.Profile.loc_name profile) loop
+            log)
+        (Ir.Trace.loops (Profiling.Profile.trace profile))
+    in
+    static @ races @ unknown_loc_warnings plan profile

@@ -1,0 +1,19 @@
+(** One-call entry point running every lint pass on a benchmark study.
+
+    Composes, in order: {!Pdg_check.check} on the static graph,
+    {!Plan_check.check} on the (PDG, partition, plan) triple, and — when
+    a profile is supplied — {!Race_check.check} on every recorded loop,
+    plus plan-hygiene warnings for [sync_locs] / [value_locs] entries
+    that name no shared location the profiled run ever touched (usually
+    a typo, or a plan written for a different workload scale). *)
+
+val run :
+  pdg:Ir.Pdg.t ->
+  ?partition:Dswp.Partition.t ->
+  plan:Speculation.Spec_plan.t ->
+  ?profile:Profiling.Profile.t ->
+  unit ->
+  Diagnostic.t list
+(** [partition] defaults to partitioning [pdg] under the plan's own
+    enabled breakers — pass one explicitly to lint a partition built for
+    a {e different} plan (the stale-artifact scenario). *)

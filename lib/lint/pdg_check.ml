@@ -1,0 +1,98 @@
+let breaker_name = function
+  | Ir.Pdg.Alias_speculation -> "alias speculation"
+  | Ir.Pdg.Value_speculation -> "value speculation"
+  | Ir.Pdg.Control_speculation -> "control speculation"
+  | Ir.Pdg.Silent_store -> "silent-store elimination"
+  | Ir.Pdg.Commutative_annotation g -> Printf.sprintf "Commutative group '%s'" g
+  | Ir.Pdg.Ybranch_annotation -> "Y-branch annotation"
+
+let edge_where pdg (e : Ir.Pdg.edge) =
+  let label id =
+    if id >= 0 && id < Ir.Pdg.node_count pdg then (Ir.Pdg.node pdg id).Ir.Pdg.label
+    else Printf.sprintf "?%d" id
+  in
+  Printf.sprintf "edge %s->%s (%s%s)" (label e.Ir.Pdg.src) (label e.Ir.Pdg.dst)
+    (Ir.Dep.kind_to_string e.Ir.Pdg.kind)
+    (if e.Ir.Pdg.loop_carried then ", loop-carried" else "")
+
+let check pdg =
+  let out = ref [] in
+  let add ~kind ~severity ~where ?hint msg =
+    out := Diagnostic.make ~kind ~severity ~where ?hint msg :: !out
+  in
+  let n = Ir.Pdg.node_count pdg in
+  (* Node weights: fractions of one iteration's work. *)
+  List.iter
+    (fun (nd : Ir.Pdg.node) ->
+      if nd.Ir.Pdg.weight > 1.0 +. 1e-9 then
+        add ~kind:Diagnostic.Bad_annotation ~severity:Diagnostic.Warning
+          ~where:(Printf.sprintf "node %s" nd.Ir.Pdg.label)
+          ~hint:"node weights are fractions of one iteration; renormalize"
+          (Printf.sprintf "weight %.3f exceeds 1" nd.Ir.Pdg.weight))
+    (Ir.Pdg.nodes pdg);
+  let total = Ir.Pdg.total_weight pdg in
+  if total > 1.0 +. 1e-6 then
+    add ~kind:Diagnostic.Bad_annotation ~severity:Diagnostic.Warning
+      ~where:(Printf.sprintf "pdg '%s'" (Ir.Pdg.name pdg))
+      ~hint:"node weights are fractions of one iteration; renormalize"
+      (Printf.sprintf "node weights sum to %.3f > 1" total);
+  List.iter
+    (fun (e : Ir.Pdg.edge) ->
+      let where = edge_where pdg e in
+      if e.Ir.Pdg.src < 0 || e.Ir.Pdg.src >= n || e.Ir.Pdg.dst < 0 || e.Ir.Pdg.dst >= n
+      then
+        add ~kind:Diagnostic.Bad_annotation ~severity:Diagnostic.Error ~where
+          ~hint:"add the node before the edge, or drop the edge"
+          "edge references a node id absent from the graph"
+      else begin
+        if e.Ir.Pdg.src = e.Ir.Pdg.dst && not e.Ir.Pdg.loop_carried then
+          add ~kind:Diagnostic.Bad_annotation ~severity:Diagnostic.Error ~where
+            ~hint:"mark the self-dependence loop-carried or remove it"
+            "self-edge that is not loop-carried: a node cannot depend on itself \
+             within one iteration";
+        if e.Ir.Pdg.probability < 0.0 || e.Ir.Pdg.probability > 1.0 then
+          add ~kind:Diagnostic.Bad_annotation ~severity:Diagnostic.Error ~where
+            ~hint:"probabilities are per-iteration manifestation rates in [0,1]"
+            (Printf.sprintf "probability %.4f outside [0, 1]" e.Ir.Pdg.probability);
+        match e.Ir.Pdg.breaker with
+        | None -> ()
+        | Some b ->
+          let bad fmt_msg hint =
+            add ~kind:Diagnostic.Bad_annotation ~severity:Diagnostic.Error ~where
+              ~hint fmt_msg
+          in
+          (match (b, e.Ir.Pdg.kind) with
+          | ( (Ir.Pdg.Alias_speculation | Ir.Pdg.Value_speculation | Ir.Pdg.Silent_store),
+              (Ir.Dep.Register | Ir.Dep.Control) ) ->
+            bad
+              (Printf.sprintf "%s cannot break a %s dependence" (breaker_name b)
+                 (Ir.Dep.kind_to_string e.Ir.Pdg.kind))
+              "alias/value/silent-store speculation applies to memory edges only"
+          | Ir.Pdg.Control_speculation, (Ir.Dep.Register | Ir.Dep.Memory) ->
+            bad
+              (Printf.sprintf "control speculation cannot break a %s dependence"
+                 (Ir.Dep.kind_to_string e.Ir.Pdg.kind))
+              "use alias or value speculation for data dependences"
+          | Ir.Pdg.Commutative_annotation _, (Ir.Dep.Register | Ir.Dep.Control) ->
+            bad
+              (Printf.sprintf "a Commutative annotation hides shared memory state, \
+                               not a %s dependence"
+                 (Ir.Dep.kind_to_string e.Ir.Pdg.kind))
+              "Commutative applies to memory edges through annotated functions"
+          | Ir.Pdg.Ybranch_annotation, Ir.Dep.Register ->
+            bad "a Y-branch cannot cut a register dependence"
+              "Y-branches break loop-carried control or memory recurrences"
+          | _ -> ());
+          (match b with
+          | Ir.Pdg.Commutative_annotation "" ->
+            bad "Commutative annotation with an empty group name"
+              "name the shared-state group the annotated functions belong to"
+          | _ -> ());
+          if not e.Ir.Pdg.loop_carried then
+            add ~kind:Diagnostic.Bad_annotation ~severity:Diagnostic.Warning ~where
+              ~hint:"pipeline queues already carry same-iteration dataflow"
+              (Printf.sprintf "%s on an intra-iteration dependence breaks nothing"
+                 (breaker_name b))
+      end)
+    (Ir.Pdg.edges pdg);
+  List.rev !out

@@ -1,0 +1,29 @@
+(** Structural lint of a static PDG, independent of any plan.
+
+    Checks that the graph's dependence metadata is internally coherent:
+    edges reference existing nodes, self-edges are loop-carried (an
+    intra-iteration self-dependence is meaningless), manifestation
+    probabilities stay in [0, 1], node weights look like fractions of one
+    iteration, and every breaker sits on an edge kind it can actually
+    break:
+
+    - alias / value / silent-store speculation break memory dependences;
+    - control speculation breaks control dependences;
+    - a Commutative annotation hides function-internal {e memory} state
+      and must name a non-empty group;
+    - a Y-branch cuts a {e loop-carried} control or memory dependence
+      (taking the true path early restarts the carried state), never a
+      register dependence.
+
+    A breaker on an intra-iteration edge is reported as a warning: the
+    pipeline queues already carry same-iteration dataflow, so the breaker
+    buys nothing and usually marks a mis-modelled graph. *)
+
+val check : Ir.Pdg.t -> Diagnostic.t list
+
+val breaker_name : Ir.Pdg.breaker -> string
+(** Human-readable breaker name for messages, e.g. ["alias speculation"]. *)
+
+val edge_where : Ir.Pdg.t -> Ir.Pdg.edge -> string
+(** Location string for an edge, e.g. ["edge compress->compress (memory,
+    loop-carried)"].  Unknown node ids render as ["?id"]. *)

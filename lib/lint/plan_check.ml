@@ -1,0 +1,184 @@
+let phase_name = Ir.Task.phase_to_string
+
+(* How could the author fix a surviving edge? *)
+let fix_hint (e : Ir.Pdg.edge) =
+  match e.Ir.Pdg.breaker with
+  | Some b ->
+    Printf.sprintf "enable %s in the plan, or repartition so the edge stays serial"
+      (Pdg_check.breaker_name b)
+  | None ->
+    "no breaker is offered: synchronize the dependence or keep both endpoints \
+     in one serial stage"
+
+let check_enabled ~pdg ~(partition : Dswp.Partition.t) ~enabled =
+  let out = ref [] in
+  let add ~kind ~severity ~where ?hint msg =
+    out := Diagnostic.make ~kind ~severity ~where ?hint msg :: !out
+  in
+  let n = Ir.Pdg.node_count pdg in
+  let stages = partition.Dswp.Partition.stages in
+  (* --- stage closure: shape, tiling, replication flags --- *)
+  let phases = List.map (fun (s : Dswp.Partition.stage) -> s.Dswp.Partition.phase) stages in
+  if phases <> [ Ir.Task.A; Ir.Task.B; Ir.Task.C ] then
+    add ~kind:Diagnostic.Stage_closure ~severity:Diagnostic.Error ~where:"partition"
+      ~hint:"the pipeline is exactly A -> B -> C; rebuild with Dswp.Partition.partition"
+      "stages are not exactly [A; B; C] in pipeline order";
+  let owners = Array.make (max n 1) [] in
+  List.iter
+    (fun (s : Dswp.Partition.stage) ->
+      List.iter
+        (fun id ->
+          if id < 0 || id >= n then
+            add ~kind:Diagnostic.Stage_closure ~severity:Diagnostic.Error
+              ~where:(Printf.sprintf "stage %s" (phase_name s.Dswp.Partition.phase))
+              ~hint:"rebuild the partition from this PDG"
+              (Printf.sprintf "stage names node id %d absent from the PDG" id)
+          else owners.(id) <- s.Dswp.Partition.phase :: owners.(id))
+        s.Dswp.Partition.nodes)
+    stages;
+  for id = 0 to n - 1 do
+    let where = Printf.sprintf "node %s" (Ir.Pdg.node pdg id).Ir.Pdg.label in
+    match owners.(id) with
+    | [] ->
+      add ~kind:Diagnostic.Stage_closure ~severity:Diagnostic.Error ~where
+        ~hint:"every PDG node must land in exactly one stage"
+        "node is assigned to no stage"
+    | [ _ ] -> ()
+    | ps ->
+      add ~kind:Diagnostic.Stage_closure ~severity:Diagnostic.Error ~where
+        ~hint:"every PDG node must land in exactly one stage"
+        (Printf.sprintf "node is assigned to %d stages" (List.length ps))
+  done;
+  List.iter
+    (fun (s : Dswp.Partition.stage) ->
+      let where = Printf.sprintf "stage %s" (phase_name s.Dswp.Partition.phase) in
+      match s.Dswp.Partition.phase with
+      | Ir.Task.B ->
+        if s.Dswp.Partition.replicated then
+          List.iter
+            (fun id ->
+              if id >= 0 && id < n && not (Ir.Pdg.node pdg id).Ir.Pdg.replicable then
+                add ~kind:Diagnostic.Stage_closure ~severity:Diagnostic.Error
+                  ~where:(Printf.sprintf "node %s" (Ir.Pdg.node pdg id).Ir.Pdg.label)
+                  ~hint:"only replicable nodes may enter the replicated stage (PS-DSWP)"
+                  "non-replicable node placed in the replicated stage B")
+            s.Dswp.Partition.nodes
+        else if s.Dswp.Partition.nodes <> [] then
+          add ~kind:Diagnostic.Stage_closure ~severity:Diagnostic.Error ~where
+            ~hint:"a non-empty stage B is the parallel stage and must be replicated"
+            "non-empty stage B is not marked replicated"
+      | Ir.Task.A | Ir.Task.C ->
+        if s.Dswp.Partition.replicated then
+          add ~kind:Diagnostic.Stage_closure ~severity:Diagnostic.Error ~where
+            ~hint:"only stage B replicates; A and C carry the serial recurrences"
+            "serial stage marked replicated")
+    stages;
+  let b_replicated =
+    List.exists
+      (fun (s : Dswp.Partition.stage) ->
+        s.Dswp.Partition.phase = Ir.Task.B && s.Dswp.Partition.replicated)
+      stages
+  in
+  (* --- edge classification under the plan's actually-enabled breakers --- *)
+  let phase_of id =
+    if id >= 0 && id < n then
+      match owners.(id) with [ p ] -> Some p | _ -> None
+    else None
+  in
+  let is_broken (e : Ir.Pdg.edge) =
+    match e.Ir.Pdg.breaker with Some b -> enabled b | None -> false
+  in
+  List.iter
+    (fun (e : Ir.Pdg.edge) ->
+      match (phase_of e.Ir.Pdg.src, phase_of e.Ir.Pdg.dst) with
+      | Some sp, Some dp ->
+        let where = Pdg_check.edge_where pdg e in
+        if is_broken e then begin
+          (* Mis-speculation recovery squashes the consuming task; the
+             serial stages cannot replay out of order (the PR-4 deadlock
+             class), so speculating into A or C is a risk. *)
+          match e.Ir.Pdg.breaker with
+          | Some
+              ((Ir.Pdg.Alias_speculation | Ir.Pdg.Value_speculation
+               | Ir.Pdg.Control_speculation | Ir.Pdg.Silent_store) as b)
+            when dp <> Ir.Task.B ->
+            add ~kind:Diagnostic.Deadlock_risk ~severity:Diagnostic.Warning ~where
+              ~hint:
+                "keep speculated dependences inside the replicated stage, or \
+                 synchronize this one"
+              (Printf.sprintf
+                 "%s resolves into serial stage %s, where mis-speculation \
+                  recovery serializes the pipeline"
+                 (Pdg_check.breaker_name b) (phase_name dp))
+          | _ -> ()
+        end
+        else begin
+          let cmp = Ir.Task.compare_phase sp dp in
+          if cmp > 0 then
+            if e.Ir.Pdg.loop_carried then
+              add ~kind:Diagnostic.Unbroken_dep ~severity:Diagnostic.Error ~where
+                ~hint:(fix_hint e)
+                (Printf.sprintf
+                   "loop-carried dependence points backward %s -> %s across the \
+                    pipeline and no enabled breaker removes it"
+                   (phase_name sp) (phase_name dp))
+            else
+              add ~kind:Diagnostic.Stage_closure ~severity:Diagnostic.Error ~where
+                ~hint:"repartition: the consumer must sit in the producer's stage or later"
+                (Printf.sprintf
+                   "intra-iteration dependence points backward %s -> %s, but \
+                    pipeline queues only flow A -> B -> C"
+                   (phase_name sp) (phase_name dp))
+          else if cmp = 0 && sp = Ir.Task.B && e.Ir.Pdg.loop_carried && b_replicated
+          then
+            add ~kind:Diagnostic.Unbroken_dep ~severity:Diagnostic.Error ~where
+              ~hint:(fix_hint e)
+              "loop-carried dependence internal to the replicated stage B: \
+               concurrent replicas give the recurrence no carrier"
+        end
+      | _ -> () (* endpoints outside the tiling were already reported *))
+    (Ir.Pdg.edges pdg);
+  List.rev !out
+
+let check ~pdg ~partition ~(plan : Speculation.Spec_plan.t) =
+  let enabled = Speculation.Spec_plan.enabled_breakers plan in
+  let base = check_enabled ~pdg ~partition ~enabled in
+  let out = ref [] in
+  let add ~kind ~severity ~where ?hint msg =
+    out := Diagnostic.make ~kind ~severity ~where ?hint msg :: !out
+  in
+  let groups = Speculation.Spec_plan.commutative_groups plan in
+  List.iter
+    (fun (e : Ir.Pdg.edge) ->
+      match e.Ir.Pdg.breaker with
+      | Some (Ir.Pdg.Commutative_annotation g)
+        when g <> "" && not (List.mem g groups) ->
+        add ~kind:Diagnostic.Bad_annotation
+          ~severity:
+            (if e.Ir.Pdg.loop_carried then Diagnostic.Error else Diagnostic.Warning)
+          ~where:(Pdg_check.edge_where pdg e)
+          ~hint:"annotate the group's functions in the plan, or stop relying on it"
+          (Printf.sprintf
+             "edge relies on Commutative group '%s', which the plan's registry \
+              does not define"
+             g)
+      | _ -> ())
+    (Ir.Pdg.edges pdg);
+  let speculates =
+    plan.Speculation.Spec_plan.alias <> Speculation.Spec_plan.No_alias
+    || plan.Speculation.Spec_plan.value_locs <> []
+    || plan.Speculation.Spec_plan.control_speculated
+  in
+  if speculates && groups <> [] then begin
+    match Annotations.Commutative.validate_speculative plan.Speculation.Spec_plan.commutative with
+    | Ok () -> ()
+    | Error msg ->
+      add ~kind:Diagnostic.Bad_annotation ~severity:Diagnostic.Error
+        ~where:"plan commutative registry"
+        ~hint:
+          "give every group at least one rollback function (the rollback of \
+           malloc is free)"
+        (Printf.sprintf
+           "plan speculates while honouring commutative groups, but %s" msg)
+  end;
+  base @ List.rev !out

@@ -1,0 +1,42 @@
+(** Soundness of a (PDG, partition, speculation plan) triple.
+
+    The partitioner drops every edge whose breaker the plan enables, then
+    carves the remainder into the A -> B -> C pipeline.  This pass
+    re-derives which edges the plan actually breaks and checks that the
+    partition is still sound under it — catching both plans that were
+    edited after partitioning and partitions built for a different plan:
+
+    - {e stage closure}: the three stages tile the PDG's nodes exactly,
+      only stage B is replicated, every replicated node is replicable,
+      and no surviving intra-iteration dependence points backward
+      against pipeline order (queues only flow A -> B -> C);
+    - {e unbroken dependences}: a surviving loop-carried edge internal
+      to the replicated stage B (replicas of B run iterations
+      concurrently, so the recurrence has no carrier), or any surviving
+      loop-carried edge pointing backward across stages, must have been
+      broken — report which breaker the edge offers and whether the plan
+      merely has it disabled;
+    - {e commutative annotations}: an edge relying on a Commutative
+      group that the plan's registry does not define, and — when the
+      plan speculates at all — groups lacking rollback functions
+      ({!Annotations.Commutative.validate_speculative}: a speculative
+      commutative call cannot be squashed without one);
+    - {e deadlock risk} (warning): speculative breakers applied to edges
+      into the serial stages A or C.  Mis-speculation recovery squashes
+      and replays the consuming task; the serial stages cannot replay
+      out of order, so recovery there serializes the pipeline. *)
+
+val check_enabled :
+  pdg:Ir.Pdg.t ->
+  partition:Dswp.Partition.t ->
+  enabled:(Ir.Pdg.breaker -> bool) ->
+  Diagnostic.t list
+(** Core pass against an explicit breaker-enablement predicate. *)
+
+val check :
+  pdg:Ir.Pdg.t ->
+  partition:Dswp.Partition.t ->
+  plan:Speculation.Spec_plan.t ->
+  Diagnostic.t list
+(** {!check_enabled} under [Speculation.Spec_plan.enabled_breakers plan],
+    plus the plan-level commutative-registry checks. *)

@@ -1,0 +1,95 @@
+let happens_before (loop : Ir.Trace.loop) t1 t2 =
+  if t1 = t2 then false
+  else
+    let a = loop.Ir.Trace.tasks.(t1) and b = loop.Ir.Trace.tasks.(t2) in
+    let c = Ir.Task.compare_phase a.Ir.Task.phase b.Ir.Task.phase in
+    if c < 0 then
+      (* Forward queue edges: A_i feeds B_j and C_j for j >= i, B_i feeds
+         C_j for j >= i (via C_i and C's serial order). *)
+      a.Ir.Task.iteration <= b.Ir.Task.iteration
+    else if c > 0 then false
+    else
+      match a.Ir.Task.phase with
+      | Ir.Task.B -> false (* replicas run concurrently, even within an iteration *)
+      | Ir.Task.A | Ir.Task.C ->
+        a.Ir.Task.iteration < b.Ir.Task.iteration
+        || (a.Ir.Task.iteration = b.Ir.Task.iteration && a.Ir.Task.id < b.Ir.Task.id)
+
+let concurrent loop t1 t2 =
+  t1 <> t2 && (not (happens_before loop t1 t2)) && not (happens_before loop t2 t1)
+
+let covered (plan : Speculation.Spec_plan.t) ~lname (e : Profiling.Mem_profile.edge) =
+  List.mem lname plan.Speculation.Spec_plan.sync_locs
+  || List.mem lname plan.Speculation.Spec_plan.value_locs
+  || (match plan.Speculation.Spec_plan.alias with
+     | Speculation.Spec_plan.No_alias -> false
+     | Speculation.Spec_plan.Alias_all -> true
+     | Speculation.Spec_plan.Alias_locs ls -> List.mem lname ls)
+  ||
+  match e.Profiling.Mem_profile.group with
+  | Some g -> List.mem g (Speculation.Spec_plan.commutative_groups plan)
+  | None -> false
+
+let check ~(plan : Speculation.Spec_plan.t) ~loc_name (loop : Ir.Trace.loop) log =
+  let config =
+    { Profiling.Mem_profile.silent_stores = plan.Speculation.Spec_plan.silent_stores }
+  in
+  let edges = Profiling.Mem_profile.analyze ~config log in
+  let ntasks = Array.length loop.Ir.Trace.tasks in
+  (* Aggregate per (loc, writer phase, reader phase): first example + count. *)
+  let agg : (int * Ir.Task.phase * Ir.Task.phase, Profiling.Mem_profile.edge * int ref)
+      Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let order = ref [] in
+  List.iter
+    (fun (e : Profiling.Mem_profile.edge) ->
+      let src = e.Profiling.Mem_profile.src and dst = e.Profiling.Mem_profile.dst in
+      if
+        src >= 0 && src < ntasks && dst >= 0 && dst < ntasks
+        && concurrent loop src dst
+        && not (covered plan ~lname:(loc_name e.Profiling.Mem_profile.loc) e)
+      then begin
+        let key =
+          ( e.Profiling.Mem_profile.loc,
+            loop.Ir.Trace.tasks.(src).Ir.Task.phase,
+            loop.Ir.Trace.tasks.(dst).Ir.Task.phase )
+        in
+        match Hashtbl.find_opt agg key with
+        | Some (_, count) -> incr count
+        | None ->
+          Hashtbl.add agg key (e, ref 1);
+          order := key :: !order
+      end)
+    edges;
+  List.rev_map
+    (fun ((loc, sp, dp) as key) ->
+      let example, count = Hashtbl.find agg key in
+      let lname = loc_name loc in
+      let src = example.Profiling.Mem_profile.src
+      and dst = example.Profiling.Mem_profile.dst in
+      let task id =
+        let t = loop.Ir.Trace.tasks.(id) in
+        Printf.sprintf "task %d (%s, iteration %d)" id
+          (Ir.Task.phase_to_string t.Ir.Task.phase)
+          t.Ir.Task.iteration
+      in
+      let extra =
+        if !count > 1 then Printf.sprintf " (%d conflicting pairs)" !count else ""
+      in
+      Diagnostic.make ~kind:Diagnostic.Race ~severity:Diagnostic.Error
+        ~where:
+          (Printf.sprintf "loop '%s', location '%s' (%s/%s)" loop.Ir.Trace.loop_name
+             lname
+             (Ir.Task.phase_to_string sp)
+             (Ir.Task.phase_to_string dp))
+        ~hint:
+          (Printf.sprintf
+             "add '%s' to sync_locs, speculate it (alias or value), or wrap both \
+              ends in a Commutative group"
+             lname)
+        (Printf.sprintf
+           "%s writes and %s reads with no ordering between them and no plan \
+            coverage%s"
+           (task src) (task dst) extra))
+    !order

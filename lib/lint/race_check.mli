@@ -1,0 +1,36 @@
+(** Happens-before race detection over a recorded access log.
+
+    The pipeline's ordering is sparse: phase A tasks run sequentially on
+    one core, phase B tasks run concurrently on the replicas, phase C
+    tasks run sequentially, and the only cross-phase edges are the
+    forward queues A -> B -> C within an iteration (a later iteration's
+    consumer also sees every earlier iteration's producer).  Everything
+    else is concurrent — in particular two B tasks, and a later
+    iteration's A or B task against an earlier iteration's C task.
+
+    Replaying the loop's access log under versioned-memory semantics
+    ({!Profiling.Mem_profile.analyze}: RAW only — WAR and WAW are
+    privatized away; silent stores filtered when the plan enables the
+    hardware), any dependence whose endpoints the ordering leaves
+    concurrent is a race {e unless the plan resolves it}: the location is
+    synchronized ([sync_locs]), value-speculated, alias-speculated in
+    scope, or both endpoints sit in commutative sections of one honoured
+    group (atomic with respect to each other).
+
+    Findings aggregate per (location, phase pair): one diagnostic with an
+    example task pair and the dynamic occurrence count, not one per
+    dynamic conflict. *)
+
+val happens_before : Ir.Trace.loop -> int -> int -> bool
+(** [happens_before loop t1 t2]: must task [t1] complete before [t2]
+    starts under the pipeline ordering above?  Irreflexive. *)
+
+val check :
+  plan:Speculation.Spec_plan.t ->
+  loc_name:(int -> string) ->
+  Ir.Trace.loop ->
+  Profiling.Access_log.t ->
+  Diagnostic.t list
+(** [loc_name] maps the log's location ids to the profile's shared-state
+    names (used in messages and matched against the plan's location
+    lists). *)

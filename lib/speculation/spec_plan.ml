@@ -20,6 +20,15 @@ let default = make ~silent_stores:false ()
 
 let commutative_groups t = Annotations.Commutative.groups t.commutative
 
+let enabled_breakers t (b : Ir.Pdg.breaker) =
+  match b with
+  | Ir.Pdg.Alias_speculation -> t.alias <> No_alias
+  | Ir.Pdg.Value_speculation -> t.value_locs <> []
+  | Ir.Pdg.Control_speculation -> t.control_speculated
+  | Ir.Pdg.Silent_store -> t.silent_stores
+  | Ir.Pdg.Commutative_annotation g -> List.mem g (commutative_groups t)
+  | Ir.Pdg.Ybranch_annotation -> true
+
 let uses_technique t = function
   | "alias" -> t.alias <> No_alias
   | "value" -> t.value_locs <> []

@@ -41,6 +41,13 @@ val make :
 
 val commutative_groups : t -> string list
 
+val enabled_breakers : t -> Ir.Pdg.breaker -> bool
+(** Whether the plan enables a given dependence breaker: alias/value/
+    control/silent speculation follow the corresponding plan fields, a
+    Commutative annotation is honoured iff its group is in the plan's
+    registry, and Y-branch annotations (a pure source-level restructuring,
+    Section 2.3.3) are always available. *)
+
 val uses_technique : t -> string -> bool
 (** For reporting: recognises "alias", "value", "control", "commutative",
     "silent". *)

@@ -45,6 +45,37 @@ trap 'rm -f "$trace_tmp" "$hist_tmp" "$hist_bad"' EXIT
 SIM_TRACE="$trace_tmp" dune exec bin/repro.exe -- run -b 164.gzip -s small > /dev/null 2>&1
 dune exec scripts/validate_trace.exe -- "$trace_tmp"
 
+# Static-analysis gate: every registry benchmark's shipped (PDG, plan,
+# profile) triple must lint clean — plan soundness, annotation hygiene,
+# and the happens-before race replay of its access logs.
+for b in $(dune exec bin/repro.exe -- list 2> /dev/null | awk '/^[0-9]+\./ {print $1}'); do
+  if ! dune exec bin/repro.exe -- lint -b "$b" -s small > /dev/null 2>&1; then
+    echo "check.sh: repro lint found errors in $b:" >&2
+    dune exec bin/repro.exe -- lint -b "$b" -s small >&2 || true
+    exit 1
+  fi
+done
+
+# Lint self-test: corrupting a known-good plan must trip the named
+# diagnostic with exit code 1 (partition kept, plan mutated).
+lint_mutation() {
+  local bench="$1" mutation="$2" diagnostic="$3" out code
+  out="$(dune exec bin/repro.exe -- lint -b "$bench" -s small --mutate "$mutation" 2>&1)" \
+    && code=0 || code=$?
+  if [[ "$code" -ne 1 ]]; then
+    echo "check.sh: lint --mutate $mutation on $bench exited $code, want 1" >&2
+    exit 1
+  fi
+  if ! grep -q "error\[$diagnostic\]" <<< "$out"; then
+    echo "check.sh: lint --mutate $mutation on $bench did not report $diagnostic:" >&2
+    echo "$out" >&2
+    exit 1
+  fi
+}
+lint_mutation 181.mcf no-alias race
+lint_mutation 186.crafty no-value unbroken-dep
+lint_mutation 197.parser strip-rollback bad-annotation
+
 # Perf-regression gate: the bench smoke above appended to
 # BENCH_history.jsonl; fail if the last two entries show a span or
 # speedup regression beyond BENCH_TOLERANCE (default 2%).
@@ -62,5 +93,5 @@ if dune exec scripts/compare_bench.exe -- "$hist_bad" > /dev/null 2>&1; then
   exit 1
 fi
 
-echo "check.sh: build + runtest + prop + bench smoke + trace smoke + perf gate OK (schedules oracle-validated)"
+echo "check.sh: build + runtest + prop + bench smoke + trace smoke + lint gate + perf gate OK (schedules oracle-validated)"
 echo "perf record: BENCH_pipeline.json, BENCH_summary.json, BENCH_summary.csv, BENCH_history.jsonl"

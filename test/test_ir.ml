@@ -138,6 +138,17 @@ let pdg_bad_edge () =
   Alcotest.check_raises "unknown node" (Invalid_argument "Pdg.add_edge: unknown node")
     (fun () -> Ir.Pdg.add_edge g ~src:a ~dst:99 ~kind:Ir.Dep.Register ())
 
+(* Within one iteration a region trivially depends on itself, so the only
+   legal self-edge is the loop-carried recurrence. *)
+let pdg_self_edge () =
+  let g = Ir.Pdg.create "self" in
+  let a = Ir.Pdg.add_node g ~label:"a" ~weight:1.0 () in
+  Alcotest.check_raises "intra-iteration self-edge"
+    (Invalid_argument "Pdg.add_edge: self-edge must be loop_carried") (fun () ->
+      Ir.Pdg.add_edge g ~src:a ~dst:a ~kind:Ir.Dep.Memory ());
+  Ir.Pdg.add_edge g ~src:a ~dst:a ~kind:Ir.Dep.Memory ~loop_carried:true ();
+  Alcotest.(check int) "carried self-edge kept" 1 (List.length (Ir.Pdg.edges g))
+
 (* Property: SCC components partition the node set. *)
 let pdg_scc_partition =
   QCheck_alcotest.to_alcotest
@@ -311,6 +322,7 @@ let () =
           Alcotest.test_case "successors" `Quick pdg_successors;
           Alcotest.test_case "weight" `Quick pdg_weight;
           Alcotest.test_case "bad edge" `Quick pdg_bad_edge;
+          Alcotest.test_case "self edge" `Quick pdg_self_edge;
           pdg_scc_partition;
         ] );
       ( "region",
