@@ -41,16 +41,45 @@ let section title =
 (* Per-study wall-clock, recorded for BENCH_pipeline.json. *)
 let study_seconds : (string * float) list ref = ref []
 
+(* Per-study GC deltas under [--gc-stats].  Measured with
+   [Gc.quick_stat] in whichever domain runs the study; with work
+   stealing a study's sweep points may execute in other domains, so the
+   per-study numbers are approximate attribution — the whole-run totals
+   in the history record (main domain + pool per-slot sums) are exact. *)
+let gc_stats_enabled = ref false
+
+let study_gc : (string * (float * float * int)) list ref = ref []
+
 let experiments =
   lazy
     (let timed =
        Parallel.Pool.map_list pool
          (fun (s : Benchmarks.Study.t) ->
            let t0 = Unix.gettimeofday () in
-           let e = Core.Experiment.run ~scale s in
-           (e, Unix.gettimeofday () -. t0))
+           let g0 = if !gc_stats_enabled then Some (Gc.quick_stat ()) else None in
+           (* The nested sweep shares the pool: its points are stealable
+              by idle domains instead of running sequentially in this
+              one — that long-tail study no longer serializes the run. *)
+           let e = Core.Experiment.run ~pool ~scale s in
+           let g =
+             match g0 with
+             | None -> (0., 0., 0)
+             | Some g0 ->
+               let g1 = Gc.quick_stat () in
+               ( g1.Gc.minor_words -. g0.Gc.minor_words,
+                 g1.Gc.major_words -. g0.Gc.major_words,
+                 g1.Gc.minor_collections - g0.Gc.minor_collections )
+           in
+           (e, Unix.gettimeofday () -. t0, g))
          Benchmarks.Registry.all
      in
+     if !gc_stats_enabled then
+       study_gc :=
+         List.map
+           (fun ((e : Core.Experiment.t), _, g) ->
+             (e.Core.Experiment.study.Benchmarks.Study.spec_name, g))
+           timed;
+     let timed = List.map (fun (e, dt, _) -> (e, dt)) timed in
      study_seconds :=
        List.map
          (fun ((e : Core.Experiment.t), dt) ->
@@ -160,8 +189,8 @@ let ablation_annotations () =
       (fun name ->
         match Benchmarks.Registry.find name with
         | Some s when s.Benchmarks.Study.baseline_plan <> None ->
-          let a = Core.Experiment.run ~scale ~threads:[ 1; 16 ] s in
-          let b = Core.Experiment.run ~scale ~threads:[ 1; 16 ] ~use_baseline_plan:true s in
+          let a = Core.Experiment.run ~pool ~scale ~threads:[ 1; 16 ] s in
+          let b = Core.Experiment.run ~pool ~scale ~threads:[ 1; 16 ] ~use_baseline_plan:true s in
           Some
             ( name,
               speedup_of a.Core.Experiment.series 16,
@@ -177,7 +206,7 @@ let ablation_annotations () =
   (* gzip and gcc ablate through workload variants, not plans. *)
   let sweep_plan plan profile =
     let built = Core.Framework.build ~plan profile in
-    Sim.Speedup.sweep ~threads:[ 1; 16 ] ~label:"x" built.Core.Framework.input
+    Sim.Speedup.sweep ~pool ~threads:[ 1; 16 ] ~label:"x" built.Core.Framework.input
   in
   let gzip = study "164.gzip" in
   let gcc = study "176.gcc" in
@@ -215,7 +244,7 @@ let ablation_policies () =
       let rows =
         Parallel.Pool.map_list pool
           (fun (label, policy) ->
-            let e = Core.Experiment.run ~scale ~threads:[ 1; 16 ] ~policy (study bench) in
+            let e = Core.Experiment.run ~pool ~scale ~threads:[ 1; 16 ] ~policy (study bench) in
             let misspec = Core.Experiment.misspec_total e ~threads:16 in
             (label, speedup_of e.Core.Experiment.series 16, misspec))
           [
@@ -245,7 +274,7 @@ let ablation_queue_capacity () =
     (fun cap ->
       let config ~cores = Machine.Config.make ~cores ~queue_capacity:cap () in
       let series =
-        Sim.Speedup.sweep ~threads:[ 1; 16 ] ~config ~label:"q" built.Core.Framework.input
+        Sim.Speedup.sweep ~pool ~threads:[ 1; 16 ] ~config ~label:"q" built.Core.Framework.input
       in
       (cap, speedup_of series 16))
     [ 1; 2; 4; 8; 32; 128 ]
@@ -261,7 +290,7 @@ let ablation_silent_stores () =
       in
       let profile = mcf.Benchmarks.Study.run ~scale in
       let built = Core.Framework.build ~plan profile in
-      let series = Sim.Speedup.sweep ~threads:[ 1; 16 ] ~label built.Core.Framework.input in
+      let series = Sim.Speedup.sweep ~pool ~threads:[ 1; 16 ] ~label built.Core.Framework.input in
       (label, speedup_of series 16))
     [ ("silent stores on", true); ("silent stores off", false) ]
   |> List.iter (fun (label, sp) -> Format.printf "%-22s %.2fx@." label sp)
@@ -286,7 +315,7 @@ let auto_vs_hand () =
     (fun (s : Benchmarks.Study.t) ->
       let speedup_built (b : Core.Framework.built) =
         let series =
-          Sim.Speedup.sweep ~threads:[ 1; 16 ] ~label:"x" b.Core.Framework.input
+          Sim.Speedup.sweep ~pool ~threads:[ 1; 16 ] ~label:"x" b.Core.Framework.input
         in
         speedup_of series 16
       in
@@ -494,6 +523,30 @@ let write_history ~total_seconds =
         })
       (Lazy.force experiments) !study_seconds
   in
+  (* Whole-run GC accounting: the main domain's [quick_stat] plus the
+     pool's per-slot minor-word sums, which cover allocation in the
+     worker domains that the main domain's counters never see.  (Slot 0
+     is the main domain helping the pool — already inside [quick_stat] —
+     so only slots >= 1 are added.) *)
+  let gc =
+    if not !gc_stats_enabled then None
+    else begin
+      let g = Gc.quick_stat () in
+      let ps = Parallel.Pool.stats pool in
+      let worker_minor = ref 0. in
+      Array.iteri
+        (fun i w -> if i > 0 then worker_minor := !worker_minor +. w)
+        ps.Parallel.Pool.stat_minor_words;
+      Some
+        {
+          Obs_analysis.History.gc_minor_words = g.Gc.minor_words +. !worker_minor;
+          gc_promoted_words = g.Gc.promoted_words;
+          gc_major_words = g.Gc.major_words;
+          gc_minor_collections = g.Gc.minor_collections;
+          gc_major_collections = g.Gc.major_collections;
+        }
+    end
+  in
   let entry =
     {
       Obs_analysis.History.rev = git_rev ();
@@ -501,13 +554,33 @@ let write_history ~total_seconds =
       scale = Benchmarks.Study.scale_to_string scale;
       jobs;
       total_seconds;
+      gc;
       studies;
     }
   in
   Obs_analysis.History.append (bench_path "BENCH_history.jsonl") entry
 
+(* GC report under [--gc-stats]: stderr, never stdout — the printed
+   tables must stay byte-identical at any job count and GC numbers vary
+   with scheduling. *)
+let print_gc_report () =
+  Format.eprintf "@.--- GC stats (--gc-stats) ---@.";
+  List.iter
+    (fun (name, (minor, major, mcoll)) ->
+      Format.eprintf "%-14s minor %12.0f words, major %12.0f words, %5d minor collections@."
+        name minor major mcoll)
+    !study_gc;
+  let g = Gc.quick_stat () in
+  Format.eprintf
+    "main domain: %.0f minor words, %.0f promoted, %.0f major, %d/%d minor/major collections@."
+    g.Gc.minor_words g.Gc.promoted_words g.Gc.major_words g.Gc.minor_collections
+    g.Gc.major_collections;
+  Format.eprintf "%a@." Parallel.Pool.pp_stats pool
+
 let () =
-  let quick = Array.length Sys.argv > 1 && Sys.argv.(1) = "quick" in
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.mem "quick" args in
+  gc_stats_enabled := List.mem "--gc-stats" args;
   let t0 = Unix.gettimeofday () in
   figure1 ();
   figure2 ();
@@ -531,5 +604,6 @@ let () =
   write_bench_json ~total_seconds;
   write_obs_summary ();
   write_history ~total_seconds;
+  if !gc_stats_enabled then print_gc_report ();
   Parallel.Pool.shutdown pool;
   Format.printf "@.done.@."

@@ -115,8 +115,15 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List the benchmark case studies.")
     Term.(const run $ const ())
 
+let verbose_arg =
+  Arg.(value & flag
+       & info [ "verbose" ]
+           ~doc:"Print scheduler statistics to stderr after the sweep: per-slot tasks \
+                 run, steal counts, busy seconds and minor-heap words from the \
+                 work-stealing pool.")
+
 let run_cmd =
-  let run name scale jobs trace summary =
+  let run name scale jobs trace summary verbose =
     with_study name (fun study ->
       with_pool jobs (fun pool ->
           let e = Core.Experiment.run ~pool ~scale study in
@@ -131,10 +138,13 @@ let run_cmd =
           (match summary with
           | None -> ()
           | Some file -> write_summary ~threads input file);
+          if verbose then Format.eprintf "%a@." Parallel.Pool.pp_stats pool;
           Ok ()))
   in
   Cmd.v (Cmd.info "run" ~doc:"Sweep one benchmark across thread counts.")
-    Term.(term_result (const run $ bench_arg $ scale_arg $ jobs_arg $ trace_arg $ summary_arg))
+    Term.(term_result
+            (const run $ bench_arg $ scale_arg $ jobs_arg $ trace_arg $ summary_arg
+             $ verbose_arg))
 
 let explain_cmd =
   let run name scale threads =

@@ -8,12 +8,21 @@ type study = {
   seconds : float;
 }
 
+type gc_stats = {
+  gc_minor_words : float;
+  gc_promoted_words : float;
+  gc_major_words : float;
+  gc_minor_collections : int;
+  gc_major_collections : int;
+}
+
 type entry = {
   rev : string;
   config : string;
   scale : string;
   jobs : int;
   total_seconds : float;
+  gc : gc_stats option;
   studies : study list;
 }
 
@@ -27,16 +36,27 @@ let study_to_json s =
       ("seconds", J.Float s.seconds);
     ]
 
-let entry_to_json e =
+let gc_to_json g =
   J.Obj
     [
-      ("rev", J.Str e.rev);
-      ("config", J.Str e.config);
-      ("scale", J.Str e.scale);
-      ("jobs", J.Int e.jobs);
-      ("total_seconds", J.Float e.total_seconds);
-      ("studies", J.Arr (List.map study_to_json e.studies));
+      ("minor_words", J.Float g.gc_minor_words);
+      ("promoted_words", J.Float g.gc_promoted_words);
+      ("major_words", J.Float g.gc_major_words);
+      ("minor_collections", J.Int g.gc_minor_collections);
+      ("major_collections", J.Int g.gc_major_collections);
     ]
+
+let entry_to_json e =
+  J.Obj
+    ([
+       ("rev", J.Str e.rev);
+       ("config", J.Str e.config);
+       ("scale", J.Str e.scale);
+       ("jobs", J.Int e.jobs);
+       ("total_seconds", J.Float e.total_seconds);
+     ]
+    @ (match e.gc with None -> [] | Some g -> [ ("gc", gc_to_json g) ])
+    @ [ ("studies", J.Arr (List.map study_to_json e.studies)) ])
 
 (* Integer-valued floats render as "3" and re-parse as [Int]; accept
    both shapes for every numeric field. *)
@@ -57,12 +77,35 @@ let study_of_json j =
   let* seconds = field "seconds" to_float j in
   Ok { study; threads; span; speedup; seconds }
 
+let gc_of_json j =
+  let* gc_minor_words = field "minor_words" to_float j in
+  let* gc_promoted_words = field "promoted_words" to_float j in
+  let* gc_major_words = field "major_words" to_float j in
+  let* gc_minor_collections = field "minor_collections" J.to_int j in
+  let* gc_major_collections = field "major_collections" J.to_int j in
+  Ok
+    {
+      gc_minor_words;
+      gc_promoted_words;
+      gc_major_words;
+      gc_minor_collections;
+      gc_major_collections;
+    }
+
 let entry_of_json j =
   let* rev = field "rev" J.to_str j in
   let* config = field "config" J.to_str j in
   let* scale = field "scale" J.to_str j in
   let* jobs = field "jobs" J.to_int j in
   let* total_seconds = field "total_seconds" to_float j in
+  (* Optional: lines written before GC accounting existed don't have it. *)
+  let* gc =
+    match J.member "gc" j with
+    | None -> Ok None
+    | Some g ->
+      let* g = gc_of_json g in
+      Ok (Some g)
+  in
   let* studies = field "studies" J.to_list j in
   let* studies =
     List.fold_left
@@ -72,7 +115,7 @@ let entry_of_json j =
         Ok (s :: acc))
       (Ok []) studies
   in
-  Ok { rev; config; scale; jobs; total_seconds; studies = List.rev studies }
+  Ok { rev; config; scale; jobs; total_seconds; gc; studies = List.rev studies }
 
 let append path e =
   let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in

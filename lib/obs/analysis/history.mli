@@ -16,12 +16,26 @@ type study = {
   seconds : float;  (** wall-clock, informational only *)
 }
 
+type gc_stats = {
+  gc_minor_words : float;
+      (** minor-heap words allocated across {e all} domains (the pool
+          sums per-worker deltas; the main domain's [Gc.quick_stat]
+          covers the rest) *)
+  gc_promoted_words : float;
+  gc_major_words : float;
+  gc_minor_collections : int;
+  gc_major_collections : int;
+}
+
 type entry = {
   rev : string;  (** short git revision, or "unknown" *)
   config : string;  (** digest of the bench configuration *)
   scale : string;
   jobs : int;
   total_seconds : float;
+  gc : gc_stats option;
+      (** whole-run GC accounting; [None] on entries written without
+          [--gc-stats] (and on all historical lines) *)
   studies : study list;
 }
 

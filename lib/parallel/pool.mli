@@ -1,23 +1,23 @@
-(** Fixed-size pool of worker domains for running independent experiment
-    points in parallel.
+(** Work-stealing pool of worker domains for running independent
+    experiment points in parallel.
 
     Hand-rolled on stdlib [Domain]/[Mutex]/[Condition] — no external
-    dependency.  The design follows the owner-participates task-pool
-    idiom: the domain that submits a batch also claims items from it, so
-    a pool of size [n] spawns [n - 1] worker domains and a pool of size
-    1 spawns none and degrades to plain sequential iteration.
+    dependency.  Each slot (the owner is slot 0; a pool of size [n]
+    spawns [n - 1] worker domains in slots 1..n-1) owns a chunked task
+    deque: a submitter splits its batch into at most [8 × size] chunks,
+    pushes them on its own deque and helps until the batch drains, while
+    idle slots steal half of a victim's deque from the back (the oldest,
+    coarsest chunks).  Stealing makes nested submissions parallel: a
+    [map] issued from inside a worker's function pushes chunks that
+    idle domains pick up, instead of degrading to sequential execution
+    in the calling domain.
 
     Determinism: [map] gathers results by input index, so the output
     array is bit-identical to [Array.map] regardless of which domain
     computed which element — provided the function itself is
     deterministic per element (all simulator entry points are; every RNG
-    in the reproduction is seeded per study).
-
-    Thread-safety contract: batches are submitted by one owner at a
-    time.  A [map]/[parallel_for] issued while another batch is in
-    flight (e.g. from inside a worker's function) detects the conflict
-    and runs sequentially in the calling domain, so nesting is safe but
-    not parallel. *)
+    in the reproduction is seeded per study).  Stealing perturbs only
+    wall-clock scheduling, never result placement. *)
 
 type t
 
@@ -34,8 +34,8 @@ val map : t -> ('a -> 'b) -> 'a array -> 'b array
 (** [map t f arr] is [Array.map f arr], computed by the pool.  Results
     are ordered by input index.  If [f] raises on any element, the
     batch still drains and the first captured exception is re-raised
-    (with its backtrace) in the caller; which exception is "first" is
-    unspecified when several elements raise. *)
+    (with its original backtrace) in the caller; which exception is
+    "first" is unspecified when several elements raise. *)
 
 val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
 (** [map] for lists, preserving order. *)
@@ -43,6 +43,24 @@ val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
 val parallel_for : t -> n:int -> (int -> unit) -> unit
 (** [parallel_for t ~n body] runs [body i] for [0 <= i < n] across the
     pool.  Same exception contract as [map]. *)
+
+type stats = {
+  stat_tasks_run : int array;  (** items executed, per slot *)
+  stat_steals : int array;  (** successful steal operations, per slot *)
+  stat_stolen_tasks : int array;  (** chunks taken by those steals *)
+  stat_busy_seconds : float array;  (** wall-clock spent running items *)
+  stat_minor_words : float array;
+      (** minor-heap words allocated while running items — summed over
+          slots this covers allocation in every domain, which the main
+          domain's [Gc.stat] alone would miss *)
+}
+
+val stats : t -> stats
+(** Cumulative per-slot counters since [create] (slot 0 = the owner /
+    external submitters).  Meant to be read between batches; reading
+    while a batch is in flight may see partially-updated counters. *)
+
+val pp_stats : Format.formatter -> t -> unit
 
 val shutdown : t -> unit
 (** Join the worker domains.  Idempotent.  A shut-down pool remains

@@ -36,6 +36,27 @@ let pop_front d =
     d.len <- d.len - 1;
     Some x
 
+(* Mirror image of [normalize] for the back end. *)
+let normalize_back d =
+  match d.back with
+  | [] ->
+    d.back <- List.rev d.front;
+    d.front <- []
+  | _ :: _ -> ()
+
+let peek_back d =
+  normalize_back d;
+  match d.back with [] -> None | x :: _ -> Some x
+
+let pop_back d =
+  normalize_back d;
+  match d.back with
+  | [] -> None
+  | x :: rest ->
+    d.back <- rest;
+    d.len <- d.len - 1;
+    Some x
+
 let clear d =
   d.front <- [];
   d.back <- [];

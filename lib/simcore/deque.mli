@@ -24,6 +24,13 @@ val peek_front : 'a t -> 'a option
 
 val pop_front : 'a t -> 'a option
 
+val peek_back : 'a t -> 'a option
+
+val pop_back : 'a t -> 'a option
+(** Remove at the tail — a work-stealing thief takes the oldest entries
+    from the back while the owner pushes and pops at the front.
+    Amortized O(1) when one end dominates; [length] stays O(1) always. *)
+
 val clear : 'a t -> unit
 
 val to_list : 'a t -> 'a list

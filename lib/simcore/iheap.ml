@@ -1,0 +1,116 @@
+(* Struct-of-arrays binary min-heap: priorities, insertion sequence
+   numbers (FIFO among equal priorities, like Heap) and two integer
+   payload words live in parallel int arrays, so add/pop never touch the
+   minor heap.  Pop writes its result into mutable out-fields instead of
+   returning a tuple for the same reason. *)
+type t = {
+  mutable prio : int array;
+  mutable seq : int array;
+  mutable pa : int array;
+  mutable pb : int array;
+  mutable size : int;
+  mutable next_seq : int;
+  mutable out_prio : int;
+  mutable out_a : int;
+  mutable out_b : int;
+}
+
+let create () =
+  {
+    prio = Array.make 16 0;
+    seq = Array.make 16 0;
+    pa = Array.make 16 0;
+    pb = Array.make 16 0;
+    size = 0;
+    next_seq = 0;
+    out_prio = 0;
+    out_a = 0;
+    out_b = 0;
+  }
+
+let length t = t.size
+
+let is_empty t = t.size = 0
+
+let less t i j =
+  t.prio.(i) < t.prio.(j) || (t.prio.(i) = t.prio.(j) && t.seq.(i) < t.seq.(j))
+
+let swap t i j =
+  let swap_in (a : int array) =
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  in
+  swap_in t.prio;
+  swap_in t.seq;
+  swap_in t.pa;
+  swap_in t.pb
+
+let grow t =
+  let cap = Array.length t.prio in
+  let extend a =
+    let b = Array.make (2 * cap) 0 in
+    Array.blit a 0 b 0 t.size;
+    b
+  in
+  t.prio <- extend t.prio;
+  t.seq <- extend t.seq;
+  t.pa <- extend t.pa;
+  t.pb <- extend t.pb
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less t i parent then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = if l < t.size && less t l i then l else i in
+  let smallest = if r < t.size && less t r smallest then r else smallest in
+  if smallest <> i then begin
+    swap t i smallest;
+    sift_down t smallest
+  end
+
+let add t ~prio a b =
+  if t.size = Array.length t.prio then grow t;
+  let i = t.size in
+  t.prio.(i) <- prio;
+  t.seq.(i) <- t.next_seq;
+  t.pa.(i) <- a;
+  t.pb.(i) <- b;
+  t.next_seq <- t.next_seq + 1;
+  t.size <- t.size + 1;
+  sift_up t i
+
+let pop t =
+  if t.size = 0 then false
+  else begin
+    t.out_prio <- t.prio.(0);
+    t.out_a <- t.pa.(0);
+    t.out_b <- t.pb.(0);
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      let last = t.size in
+      t.prio.(0) <- t.prio.(last);
+      t.seq.(0) <- t.seq.(last);
+      t.pa.(0) <- t.pa.(last);
+      t.pb.(0) <- t.pb.(last);
+      sift_down t 0
+    end;
+    true
+  end
+
+let popped_prio t = t.out_prio
+
+let popped_a t = t.out_a
+
+let popped_b t = t.out_b
+
+let clear t =
+  t.size <- 0;
+  t.next_seq <- 0

@@ -1,0 +1,63 @@
+(* Flat circular buffer: head is the index of the front element, len the
+   element count; the slot for a new back element is (head + len) mod
+   capacity.  Capacity is a power of two so the wrap is a mask. *)
+type t = { mutable data : int array; mutable head : int; mutable len : int }
+
+let create ?(capacity = 16) () =
+  let cap = ref 2 in
+  while !cap < capacity do
+    cap := !cap * 2
+  done;
+  { data = Array.make !cap 0; head = 0; len = 0 }
+
+let length q = q.len
+
+let is_empty q = q.len = 0
+
+let grow q =
+  let cap = Array.length q.data in
+  let data = Array.make (2 * cap) 0 in
+  let tail = cap - q.head in
+  (* Unroll the wrap: front segment first, then the wrapped prefix. *)
+  Array.blit q.data q.head data 0 (min q.len tail);
+  if q.len > tail then Array.blit q.data 0 data tail (q.len - tail);
+  q.data <- data;
+  q.head <- 0
+
+let push_back q x =
+  if q.len = Array.length q.data then grow q;
+  let mask = Array.length q.data - 1 in
+  q.data.((q.head + q.len) land mask) <- x;
+  q.len <- q.len + 1
+
+let push_front q x =
+  if q.len = Array.length q.data then grow q;
+  let mask = Array.length q.data - 1 in
+  q.head <- (q.head - 1) land mask;
+  q.data.(q.head) <- x;
+  q.len <- q.len + 1
+
+(* The empty cases return a sentinel instead of an option so the hot
+   path never allocates; callers check [is_empty] or the sentinel. *)
+let peek_front_exn q =
+  if q.len = 0 then invalid_arg "Ring.peek_front_exn: empty";
+  q.data.(q.head)
+
+let pop_front_exn q =
+  if q.len = 0 then invalid_arg "Ring.pop_front_exn: empty";
+  let x = q.data.(q.head) in
+  q.head <- (q.head + 1) land (Array.length q.data - 1);
+  q.len <- q.len - 1;
+  x
+
+let peek_front q = if q.len = 0 then None else Some q.data.(q.head)
+
+let pop_front q = if q.len = 0 then None else Some (pop_front_exn q)
+
+let clear q =
+  q.head <- 0;
+  q.len <- 0
+
+let to_list q =
+  let mask = Array.length q.data - 1 in
+  List.init q.len (fun i -> q.data.((q.head + i) land mask))

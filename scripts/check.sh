@@ -25,16 +25,51 @@ if [[ -n "${CHECK_SEED:-}" ]]; then
   echo "check.sh: property seed CHECK_SEED=${CHECK_SEED}"
 fi
 
-# Forward the repro job count to the bench smoke.
-if [[ -n "${REPRO_JOBS:-}" ]]; then
-  export REPRO_JOBS
-  echo "check.sh: REPRO_JOBS=${REPRO_JOBS}"
+# Job count for the parallel bench smoke (the sequential smoke always
+# runs at 1).  Defaults to 4 so the scaling gate below compares a real
+# multi-domain run against the sequential baseline.
+SCALE_JOBS="${REPRO_JOBS:-4}"
+echo "check.sh: scaling smoke at REPRO_JOBS=1 and REPRO_JOBS=${SCALE_JOBS}"
+
+# Whether the anti-scaling gate can be *enforced* depends on the
+# hardware: with fewer cores than SCALE_JOBS the domains time-slice one
+# core and every minor collection pays a stop-the-world barrier against
+# descheduled domains, so wall clock measures the scheduler, not the
+# harness.  On such a box the gate still runs and prints the ratio but
+# a bad ratio is reported, not fatal (an explicit SCALING_TOLERANCE
+# re-enables enforcement); with enough cores it is a hard gate.
+cores="$(getconf _NPROCESSORS_ONLN 2> /dev/null || echo 1)"
+scaling_enforce=1
+if [[ -z "${SCALING_TOLERANCE:-}" && "$cores" -lt "$SCALE_JOBS" ]]; then
+  scaling_enforce=0
+  echo "check.sh: ${cores} core(s) < ${SCALE_JOBS} jobs — scaling gate is informational on this box"
 fi
 
 dune build
 dune runtest
 dune build @prop
-dune exec bench/main.exe -- quick > /dev/null
+
+# Bench smoke, twice in the same session: sequential, then parallel.
+# Both append to BENCH_history.jsonl at the same revision, which is
+# exactly the same-rev pair the --scaling gate wants; stdout must be
+# byte-identical between the two runs (it is diffed below).
+#
+# These two runs are the perf record, so they measure the simulator
+# hot path alone: SIM_VALIDATE is off (the oracle re-simulates every
+# schedule with allocation-heavy bookkeeping, which would swamp the
+# scaling measurement with GC-barrier noise).  Oracle coverage comes
+# from dune runtest / @prop above and the trace + lint stages below,
+# all of which keep SIM_VALIDATE=1.
+bench_j1="$(mktemp -t bench_j1.XXXXXX.txt)"
+bench_jn="$(mktemp -t bench_jn.XXXXXX.txt)"
+SIM_VALIDATE=0 REPRO_JOBS=1 dune exec bench/main.exe -- quick > "$bench_j1"
+SIM_VALIDATE=0 REPRO_JOBS="$SCALE_JOBS" dune exec bench/main.exe -- quick > "$bench_jn"
+if ! diff -q "$bench_j1" "$bench_jn" > /dev/null; then
+  echo "check.sh: bench stdout differs between jobs=1 and jobs=${SCALE_JOBS}:" >&2
+  diff "$bench_j1" "$bench_jn" >&2 || true
+  exit 1
+fi
+rm -f "$bench_j1" "$bench_jn"
 
 # Trace smoke: run one registry study with SIM_TRACE set, then parse the
 # emitted Chrome trace back and assert it has slices + counter tracks.
@@ -76,10 +111,26 @@ lint_mutation 181.mcf no-alias race
 lint_mutation 186.crafty no-value unbroken-dep
 lint_mutation 197.parser strip-rollback bad-annotation
 
-# Perf-regression gate: the bench smoke above appended to
+# Perf-regression gate: the bench smokes above appended to
 # BENCH_history.jsonl; fail if the last two entries show a span or
-# speedup regression beyond BENCH_TOLERANCE (default 2%).
+# speedup regression beyond BENCH_TOLERANCE (default 2%).  Exit codes:
+# 0 = ok, 1 = regression, 2 = usage/input error.
 dune exec scripts/compare_bench.exe -- BENCH_history.jsonl
+
+# Anti-scaling gate: the newest jobs>1 entry must not be more than
+# SCALING_TOLERANCE (default 15%) slower in wall clock than the newest
+# same-rev jobs=1 entry.  The gate catches the pathological case where
+# adding domains makes the harness slower than running sequentially.
+# Exit codes: 0 = ok / nothing to compare, 1 = anti-scaling, 2 = input
+# error.  Informational mode (oversubscribed box, see above) tolerates
+# exit 1 but still fails on exit 2.
+scaling_code=0
+dune exec scripts/compare_bench.exe -- --scaling BENCH_history.jsonl || scaling_code=$?
+if [[ "$scaling_code" -eq 1 && "$scaling_enforce" -eq 0 ]]; then
+  echo "check.sh: anti-scaling above is expected when ${SCALE_JOBS} domains time-slice ${cores} core(s); not fatal here (set SCALING_TOLERANCE to enforce)"
+elif [[ "$scaling_code" -ne 0 ]]; then
+  exit "$scaling_code"
+fi
 
 # Gate self-test on throwaway copies: a duplicated entry must pass, and
 # an entry with every span inflated 10x must trip the gate.
@@ -93,5 +144,21 @@ if dune exec scripts/compare_bench.exe -- "$hist_bad" > /dev/null 2>&1; then
   exit 1
 fi
 
-echo "check.sh: build + runtest + prop + bench smoke + trace smoke + lint gate + perf gate OK (schedules oracle-validated)"
+# Scaling-gate self-test, same throwaway-file idea: a jobs=4 entry 2x
+# slower than the same-rev jobs=1 entry must trip the gate; a parity
+# pair must pass.
+hist_scale="$(mktemp -t bench_hist_scale.XXXXXX.jsonl)"
+seq_entry="$(printf '%s\n' "$last_entry" | sed 's/"jobs":[0-9]*/"jobs":1/; s/"total_seconds":[0-9.]*/"total_seconds":10/')"
+par_slow="$(printf '%s\n' "$last_entry" | sed 's/"jobs":[0-9]*/"jobs":4/; s/"total_seconds":[0-9.]*/"total_seconds":20/')"
+par_ok="$(printf '%s\n' "$last_entry" | sed 's/"jobs":[0-9]*/"jobs":4/; s/"total_seconds":[0-9.]*/"total_seconds":10.5/')"
+printf '%s\n%s\n' "$seq_entry" "$par_slow" > "$hist_scale"
+if SCALING_TOLERANCE=0.15 dune exec scripts/compare_bench.exe -- --scaling "$hist_scale" > /dev/null 2>&1; then
+  echo "check.sh: compare_bench --scaling failed to flag a 2x-slower parallel run" >&2
+  exit 1
+fi
+printf '%s\n%s\n' "$seq_entry" "$par_ok" > "$hist_scale"
+SCALING_TOLERANCE=0.15 dune exec scripts/compare_bench.exe -- --scaling "$hist_scale" > /dev/null
+rm -f "$hist_scale"
+
+echo "check.sh: build + runtest + prop + bench smoke (jobs=1 and jobs=${SCALE_JOBS}, identical stdout) + trace smoke + lint gate + perf gate + scaling gate OK (schedules oracle-validated)"
 echo "perf record: BENCH_pipeline.json, BENCH_summary.json, BENCH_summary.csv, BENCH_history.jsonl"

@@ -1,33 +1,48 @@
-(* Diff the last two entries of a bench history file (JSONL, one entry
-   per bench run; see Obs_analysis.History) and exit non-zero when a
-   study's simulated span grew or speedup shrank beyond the tolerance.
+(* Perf gates over a bench history file (JSONL, one entry per bench run;
+   see Obs_analysis.History).  Two modes, both used by scripts/check.sh:
+
+   Default — diff the last two entries and exit non-zero when a study's
+   simulated span grew or speedup shrank beyond the tolerance.
    Simulated numbers are deterministic, so a small tolerance catches
    real regressions without flaking; wall-clock seconds are printed for
-   context but never gated.  Used by scripts/check.sh as the perf gate.
+   context but never gated.
 
-     compare_bench [FILE]            default: BENCH_history.jsonl
-     BENCH_TOLERANCE=0.05            relative tolerance (fraction, default 0.02) *)
+   --scaling — compare the newest jobs>1 entry against the newest
+   jobs=1 entry (preferring a same-revision pair) and fail when the
+   parallel run's wall clock exceeds the sequential run's by more than
+   the scaling tolerance.  This is the anti-scaling gate: a parallel
+   harness that is *slower* than sequential is a bug regardless of the
+   machine.  On a single-core box parity (within tolerance) is the best
+   possible outcome; real speedups (ratio < 1) need real cores.
+
+     compare_bench [FILE]            regression gate (default: BENCH_history.jsonl)
+     compare_bench --scaling [FILE]  anti-scaling gate
+     BENCH_TOLERANCE=0.05            regression tolerance (fraction, default 0.02)
+     SCALING_TOLERANCE=0.25          scaling headroom (fraction, default 0.15)
+
+   Exit codes (both modes): 0 = ok / nothing to compare, 1 = gate
+   failed, 2 = usage or input error. *)
 
 module H = Obs_analysis.History
 
 let fail fmt = Printf.ksprintf (fun msg -> prerr_endline ("compare_bench: " ^ msg); exit 2) fmt
 
-let () =
-  let file =
-    match Array.length Sys.argv with
-    | 1 -> "BENCH_history.jsonl"
-    | 2 -> Sys.argv.(1)
-    | _ -> fail "usage: compare_bench [FILE]"
-  in
-  let tolerance =
-    match Sys.getenv_opt "BENCH_TOLERANCE" with
-    | None -> 0.02
-    | Some s -> (
-      match float_of_string_opt s with
-      | Some t when t >= 0. -> t
-      | _ -> fail "BENCH_TOLERANCE must be a non-negative fraction, got %S" s)
-  in
-  let entries = match H.load file with Ok es -> es | Error e -> fail "%s" e in
+let env_fraction name default =
+  match Sys.getenv_opt name with
+  | None -> default
+  | Some s -> (
+    match float_of_string_opt s with
+    | Some t when t >= 0. -> t
+    | _ -> fail "%s must be a non-negative fraction, got %S" name s)
+
+let load file = match H.load file with Ok es -> es | Error e -> fail "%s" e
+
+(* ------------------------------------------------------------------ *)
+(* Default mode: simulated-numbers regression gate                     *)
+
+let regression_gate file =
+  let tolerance = env_fraction "BENCH_TOLERANCE" 0.02 in
+  let entries = load file in
   match List.rev entries with
   | [] | [ _ ] ->
     Printf.printf "compare_bench: %s has %d entr%s — nothing to compare\n" file
@@ -53,3 +68,60 @@ let () =
         regs;
       exit 1
     end
+
+(* ------------------------------------------------------------------ *)
+(* --scaling: parallel wall clock vs sequential wall clock             *)
+
+let scaling_gate file =
+  let tolerance = env_fraction "SCALING_TOLERANCE" 0.15 in
+  let entries = load file in
+  (* Newest-first; prefer a jobs=1 entry from the same revision as the
+     parallel entry so the pair measures the same code. *)
+  let rev_entries = List.rev entries in
+  match List.find_opt (fun (e : H.entry) -> e.H.jobs > 1) rev_entries with
+  | None ->
+    Printf.printf "compare_bench --scaling: %s has no jobs>1 entry — nothing to compare\n" file;
+    exit 0
+  | Some par -> (
+    let seq_same_rev =
+      List.find_opt (fun (e : H.entry) -> e.H.jobs = 1 && e.H.rev = par.H.rev) rev_entries
+    in
+    let seq_any = List.find_opt (fun (e : H.entry) -> e.H.jobs = 1) rev_entries in
+    match (if seq_same_rev <> None then seq_same_rev else seq_any) with
+    | None ->
+      Printf.printf "compare_bench --scaling: %s has no jobs=1 entry — nothing to compare\n"
+        file;
+      exit 0
+    | Some seq ->
+      if seq_same_rev = None then
+        Printf.printf
+          "  note: no jobs=1 entry at rev %s; comparing against rev %s — wall clocks may \
+           reflect different code\n"
+          par.H.rev seq.H.rev;
+      let ratio =
+        if seq.H.total_seconds > 0. then par.H.total_seconds /. seq.H.total_seconds else 1.
+      in
+      Printf.printf
+        "compare_bench --scaling: jobs=%d %.2fs vs jobs=1 %.2fs at rev %s (ratio %.2f, \
+         tolerance %.0f%%)\n"
+        par.H.jobs par.H.total_seconds seq.H.total_seconds par.H.rev ratio (100. *. tolerance);
+      if ratio > 1. +. tolerance then begin
+        Printf.printf
+          "  ANTI-SCALING: jobs=%d is %.0f%% slower than jobs=1 (allowed: %.0f%%)\n" par.H.jobs
+          (100. *. (ratio -. 1.))
+          (100. *. tolerance);
+        exit 1
+      end
+      else begin
+        Printf.printf "  ok: parallel run within tolerance of sequential\n";
+        exit 0
+      end)
+
+let () =
+  match List.tl (Array.to_list Sys.argv) with
+  | [] -> regression_gate "BENCH_history.jsonl"
+  | [ "--scaling" ] -> scaling_gate "BENCH_history.jsonl"
+  | [ "--scaling"; file ] -> scaling_gate file
+  | [ file ] when file <> "--scaling" && String.length file > 0 && file.[0] <> '-' ->
+    regression_gate file
+  | _ -> fail "usage: compare_bench [--scaling] [FILE]"

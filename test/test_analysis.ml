@@ -124,6 +124,7 @@ let entry rev studies =
     scale = "medium";
     jobs = 4;
     total_seconds = 1.5;
+    gc = None;
     studies;
   }
 
@@ -138,6 +139,28 @@ let history_roundtrip () =
     match H.entry_of_json j with
     | Error m -> Alcotest.failf "decode failed: %s" m
     | Ok e' -> Alcotest.(check bool) "round-trips" true (e = e'))
+
+let history_roundtrip_with_gc () =
+  let e =
+    {
+      (entry "abc1234" [ study "164.gzip" 59289 5.75 ]) with
+      H.gc =
+        Some
+          {
+            H.gc_minor_words = 1.25e9;
+            gc_promoted_words = 3.5e6;
+            gc_major_words = 4.5e6;
+            gc_minor_collections = 4821;
+            gc_major_collections = 12;
+          };
+    }
+  in
+  match Obs.Json.parse (Obs.Json.to_string (H.entry_to_json e)) with
+  | Error m -> Alcotest.failf "reparse failed: %s" m
+  | Ok j -> (
+    match H.entry_of_json j with
+    | Error m -> Alcotest.failf "decode failed: %s" m
+    | Ok e' -> Alcotest.(check bool) "gc round-trips" true (e = e'))
 
 let history_append_load () =
   let file = Filename.temp_file "hist" ".jsonl" in
@@ -198,6 +221,7 @@ let () =
       ( "history",
         [
           Alcotest.test_case "entry round-trips" `Quick history_roundtrip;
+          Alcotest.test_case "entry round-trips with gc" `Quick history_roundtrip_with_gc;
           Alcotest.test_case "append and load" `Quick history_append_load;
           Alcotest.test_case "identical runs pass" `Quick compare_no_regression;
           Alcotest.test_case "span inflation flagged" `Quick compare_flags_span_inflation;

@@ -58,8 +58,10 @@ let parallel_for_covers_all () =
       Alcotest.(check (array int)) "each index exactly once" (Array.make 1000 1) hits)
 
 let nested_map_degrades () =
-  (* A map issued while a batch is in flight runs sequentially in the
-     calling domain — correct results, no deadlock. *)
+  (* A map issued while a batch is in flight pushes chunks to the
+     worker's own deque, where idle domains steal them — correct
+     results, no deadlock, and (unlike the old fixed-batch pool)
+     actually parallel. *)
   Parallel.Pool.with_pool ~domains:4 (fun pool ->
       let out =
         Parallel.Pool.map pool
@@ -68,6 +70,49 @@ let nested_map_degrades () =
           (Array.init 16 (fun i -> i))
       in
       Alcotest.(check (array int)) "nested" (Array.init 16 (fun i -> 6 * i)) out)
+
+(* Steal-heavy stress: one giant task up front (the submitter chews on
+   it) plus many tiny ones — with chunked deques the tiny tasks are
+   stolen and run elsewhere while the giant one blocks its domain.
+   Every element must appear exactly once, in index order, at every
+   domain count. *)
+let steal_heavy_stress () =
+  let n = 101 in
+  let giant_spin x =
+    (* Data-dependent spin so the work can't be constant-folded. *)
+    let acc = ref x in
+    for i = 1 to 2_000_000 do
+      acc := (!acc + i) land 0xFFFFFF
+    done;
+    !acc
+  in
+  let f i = if i = 0 then (i, giant_spin i) else (i, i * i) in
+  let expected = Array.init n f in
+  List.iter
+    (fun domains ->
+      Parallel.Pool.with_pool ~domains (fun pool ->
+          let out = Parallel.Pool.map pool f (Array.init n (fun i -> i)) in
+          Alcotest.(check bool)
+            (Printf.sprintf "no dup/lost/reorder at %d domains" domains)
+            true (out = expected);
+          let hits = Array.make n 0 in
+          Parallel.Pool.parallel_for pool ~n (fun i ->
+              ignore (if i = 0 then giant_spin i else i);
+              hits.(i) <- hits.(i) + 1);
+          Alcotest.(check (array int))
+            (Printf.sprintf "parallel_for covers all at %d domains" domains)
+            (Array.make n 1) hits))
+    [ 1; 2; 4 ]
+
+let stats_account_for_all_tasks () =
+  Parallel.Pool.with_pool ~domains:4 (fun pool ->
+      let n = 256 in
+      ignore (Parallel.Pool.map pool (fun x -> x + 1) (Array.init n (fun i -> i)));
+      let s = Parallel.Pool.stats pool in
+      let total = Array.fold_left ( + ) 0 s.Parallel.Pool.stat_tasks_run in
+      Alcotest.(check int) "every item ran exactly once" n total;
+      Alcotest.(check bool) "stolen <= run" true
+        (Array.fold_left ( + ) 0 s.Parallel.Pool.stat_stolen_tasks <= n))
 
 let shutdown_idempotent_then_sequential () =
   let pool = Parallel.Pool.create ~domains:4 in
@@ -127,6 +172,38 @@ let randomized_plans_pool_invariant () =
     "randomized-plan sweeps identical at 1 and 4 domains" true
     (sweep ~domains:1 = sweep ~domains:4)
 
+(* ------------------------------------------------------------------ *)
+(* Property: Pool.map with stealing == List.map, on random workloads    *)
+
+(* Scaled by CHECK_COUNT like the other property suites, so `dune build
+   @prop` stress-tests the scheduler at 1000 random workloads. *)
+let prop_count =
+  match Option.bind (Sys.getenv_opt "CHECK_COUNT") int_of_string_opt with
+  | Some n when n > 0 -> n
+  | Some _ | None -> 100
+
+let pool_map_matches_list_map =
+  let gen =
+    QCheck2.Gen.(
+      triple (int_range 1 5) (list_size (int_bound 80) (int_bound 10_000)) (int_bound 500))
+  in
+  QCheck2.Test.make ~count:prop_count ~name:"Pool.map = List.map on random workloads" gen
+    (fun (domains, items, spin) ->
+      (* Uneven per-item work provokes stealing; the function is pure so
+         placement-by-index is the only thing that can go wrong. *)
+      let f x =
+        let acc = ref x in
+        for i = 1 to spin * (x land 7) do
+          acc := (!acc + i) land 0xFFFF
+        done;
+        (x, !acc)
+      in
+      let expected = List.map f items in
+      let got =
+        Parallel.Pool.with_pool ~domains (fun pool -> Parallel.Pool.map_list pool f items)
+      in
+      got = expected)
+
 let () =
   Alcotest.run "parallel"
     [
@@ -142,6 +219,10 @@ let () =
           Alcotest.test_case "nested map degrades" `Quick nested_map_degrades;
           Alcotest.test_case "shutdown idempotent" `Quick shutdown_idempotent_then_sequential;
           Alcotest.test_case "default domains" `Quick default_domains_positive;
+          Alcotest.test_case "steal-heavy stress" `Quick steal_heavy_stress;
+          Alcotest.test_case "stats account for all tasks" `Quick
+            stats_account_for_all_tasks;
+          QCheck_alcotest.to_alcotest pool_map_matches_list_map;
         ] );
       ( "determinism",
         [

@@ -222,6 +222,160 @@ let deque_model_property =
         ops;
       Simcore.Deque.to_list d = !model && Simcore.Deque.length d = List.length !model)
 
+let deque_pop_back () =
+  let d = Simcore.Deque.create () in
+  for i = 1 to 5 do
+    Simcore.Deque.push_back d i
+  done;
+  Alcotest.(check (option int)) "peek back" (Some 5) (Simcore.Deque.peek_back d);
+  Alcotest.(check (option int)) "pop back" (Some 5) (Simcore.Deque.pop_back d);
+  Alcotest.(check (option int)) "pop front still 1" (Some 1) (Simcore.Deque.pop_front d);
+  Alcotest.(check (option int)) "pop back again" (Some 4) (Simcore.Deque.pop_back d);
+  Alcotest.(check (list int)) "middle remains" [ 2; 3 ] (Simcore.Deque.to_list d);
+  Alcotest.(check int) "length tracks both ends" 2 (Simcore.Deque.length d);
+  ignore (Simcore.Deque.pop_back d);
+  ignore (Simcore.Deque.pop_back d);
+  Alcotest.(check (option int)) "drained" None (Simcore.Deque.pop_back d)
+
+(* The thief's steal-half loop calls [length] on every victim it probes;
+   that only works if length is O(1), not a list traversal.  Time 1M
+   length calls against a 200k-element deque — a linear implementation
+   would take minutes, O(1) takes milliseconds; the bound is generous
+   enough to never flake on a loaded box. *)
+let deque_length_is_o1 () =
+  let d = Simcore.Deque.create () in
+  for i = 1 to 200_000 do
+    Simcore.Deque.push_back d i
+  done;
+  let t0 = Unix.gettimeofday () in
+  let acc = ref 0 in
+  for _ = 1 to 1_000_000 do
+    acc := !acc + Simcore.Deque.length d
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool) "sum consistent" true (!acc = 1_000_000 * 200_000);
+  Alcotest.(check bool)
+    (Printf.sprintf "1M length calls on a 200k deque in %.3fs (< 1s => O(1))" dt)
+    true (dt < 1.0)
+
+(* ------------------------------------------------------------------ *)
+(* Ring                                                                *)
+
+let ring_fifo_and_growth () =
+  let r = Simcore.Ring.create ~capacity:2 () in
+  for i = 1 to 100 do
+    Simcore.Ring.push_back r i
+  done;
+  Alcotest.(check int) "length" 100 (Simcore.Ring.length r);
+  Alcotest.(check int) "peek" 1 (Simcore.Ring.peek_front_exn r);
+  for i = 1 to 50 do
+    Alcotest.(check int) (Printf.sprintf "pop %d" i) i (Simcore.Ring.pop_front_exn r)
+  done;
+  (* Push after pops exercises wrap-around of the circular buffer. *)
+  for i = 101 to 140 do
+    Simcore.Ring.push_back r i
+  done;
+  Alcotest.(check (list int)) "fifo across wrap"
+    (List.init 90 (fun i -> i + 51))
+    (Simcore.Ring.to_list r)
+
+let ring_push_front () =
+  let r = Simcore.Ring.create () in
+  Simcore.Ring.push_back r 2;
+  Simcore.Ring.push_back r 3;
+  Simcore.Ring.push_front r 1;
+  Alcotest.(check (list int)) "head insert" [ 1; 2; 3 ] (Simcore.Ring.to_list r);
+  ignore (Simcore.Ring.pop_front_exn r);
+  Simcore.Ring.push_front r 9;
+  Alcotest.(check (list int)) "squash re-queue shape" [ 9; 2; 3 ] (Simcore.Ring.to_list r)
+
+let ring_empty_behavior () =
+  let r = Simcore.Ring.create () in
+  Alcotest.(check bool) "fresh empty" true (Simcore.Ring.is_empty r);
+  Alcotest.(check (option int)) "pop option" None (Simcore.Ring.pop_front r);
+  Alcotest.check_raises "pop_exn raises" (Invalid_argument "Ring.pop_front_exn: empty")
+    (fun () -> ignore (Simcore.Ring.pop_front_exn r));
+  Simcore.Ring.push_back r 1;
+  Simcore.Ring.clear r;
+  Alcotest.(check bool) "cleared" true (Simcore.Ring.is_empty r)
+
+let ring_model_property =
+  qtest ~count:300 "ring matches deque model"
+    QCheck2.Gen.(list (pair (int_range 0 2) small_int))
+    (fun ops ->
+      let r = Simcore.Ring.create ~capacity:2 () in
+      let d = Simcore.Deque.create () in
+      List.iter
+        (fun (op, x) ->
+          match op with
+          | 0 ->
+            Simcore.Ring.push_back r x;
+            Simcore.Deque.push_back d x
+          | 1 ->
+            Simcore.Ring.push_front r x;
+            Simcore.Deque.push_front d x
+          | _ -> assert (Simcore.Ring.pop_front r = Simcore.Deque.pop_front d))
+        ops;
+      Simcore.Ring.to_list r = Simcore.Deque.to_list d
+      && Simcore.Ring.length r = Simcore.Deque.length d)
+
+(* ------------------------------------------------------------------ *)
+(* Iheap (int event heap)                                              *)
+
+let iheap_sorted_and_fifo () =
+  let h = Simcore.Iheap.create () in
+  Simcore.Iheap.add h ~prio:5 50 0;
+  Simcore.Iheap.add h ~prio:1 10 7;
+  Simcore.Iheap.add h ~prio:5 51 1;
+  Simcore.Iheap.add h ~prio:3 30 2;
+  let popped = ref [] in
+  while Simcore.Iheap.pop h do
+    popped :=
+      (Simcore.Iheap.popped_prio h, Simcore.Iheap.popped_a h, Simcore.Iheap.popped_b h)
+      :: !popped
+  done;
+  Alcotest.(check bool) "sorted, equal prios FIFO" true
+    (List.rev !popped = [ (1, 10, 7); (3, 30, 2); (5, 50, 0); (5, 51, 1) ]);
+  Alcotest.(check bool) "drained" true (Simcore.Iheap.is_empty h)
+
+let iheap_clear_reuse () =
+  let h = Simcore.Iheap.create () in
+  Simcore.Iheap.add h ~prio:2 1 1;
+  Simcore.Iheap.clear h;
+  Alcotest.(check bool) "cleared" true (Simcore.Iheap.is_empty h);
+  Simcore.Iheap.add h ~prio:9 2 2;
+  Alcotest.(check bool) "usable after clear" true (Simcore.Iheap.pop h);
+  Alcotest.(check int) "payload survives reuse" 2 (Simcore.Iheap.popped_a h)
+
+(* Against the boxed Heap, which is its reference semantics: same
+   priorities and payloads must pop in exactly the same order, including
+   FIFO tie-breaks. *)
+let iheap_matches_heap_property =
+  qtest ~count:300 "iheap matches Heap order"
+    QCheck2.Gen.(list (pair (int_bound 50) (int_bound 1000)))
+    (fun entries ->
+      let ih = Simcore.Iheap.create () in
+      let bh = Simcore.Heap.create () in
+      List.iter
+        (fun (prio, v) ->
+          Simcore.Iheap.add ih ~prio v 0;
+          Simcore.Heap.add bh ~prio v)
+        entries;
+      let ok = ref true in
+      List.iter
+        (fun _ ->
+          match Simcore.Heap.pop_min bh with
+          | None -> ok := false
+          | Some (p, v) ->
+            if
+              not
+                (Simcore.Iheap.pop ih
+                && Simcore.Iheap.popped_prio ih = p
+                && Simcore.Iheap.popped_a ih = v)
+            then ok := false)
+        entries;
+      !ok && Simcore.Iheap.is_empty ih)
+
 let () =
   Alcotest.run "simcore"
     [
@@ -243,6 +397,8 @@ let () =
           Alcotest.test_case "fifo order" `Quick deque_fifo_order;
           Alcotest.test_case "push front" `Quick deque_push_front;
           Alcotest.test_case "empty and clear" `Quick deque_empty_and_clear;
+          Alcotest.test_case "pop back" `Quick deque_pop_back;
+          Alcotest.test_case "length is O(1)" `Quick deque_length_is_o1;
           deque_model_property;
         ] );
       ( "heap",
@@ -251,6 +407,19 @@ let () =
           Alcotest.test_case "fifo ties" `Quick heap_fifo_ties;
           heap_sorts;
           Alcotest.test_case "clear" `Quick heap_clear;
+        ] );
+      ( "ring",
+        [
+          Alcotest.test_case "fifo and growth" `Quick ring_fifo_and_growth;
+          Alcotest.test_case "push front" `Quick ring_push_front;
+          Alcotest.test_case "empty behavior" `Quick ring_empty_behavior;
+          ring_model_property;
+        ] );
+      ( "iheap",
+        [
+          Alcotest.test_case "sorted and fifo" `Quick iheap_sorted_and_fifo;
+          Alcotest.test_case "clear and reuse" `Quick iheap_clear_reuse;
+          iheap_matches_heap_property;
         ] );
       ( "stats",
         [
