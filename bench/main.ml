@@ -556,6 +556,7 @@ let write_history ~total_seconds =
       total_seconds;
       gc;
       studies;
+      real = [];
     }
   in
   Obs_analysis.History.append (bench_path "BENCH_history.jsonl") entry

@@ -395,6 +395,59 @@ let lint_cmd =
              warnings).")
     Term.(term_result (const run $ bench_arg $ scale_arg $ strict_arg $ mutate_arg))
 
+let validate_real_cmd =
+  let bench_opt_arg =
+    Arg.(value & opt (some string) None
+         & info [ "b"; "benchmark" ] ~docv:"NAME"
+             ~doc:"Validate one benchmark (e.g. 164.gzip or gzip). Default: all 11.")
+  in
+  let threads_arg =
+    Arg.(value & opt int 4
+         & info [ "t"; "threads" ] ~docv:"N"
+             ~doc:"Run each benchmark at every domain count from 1 to $(docv). Real \
+                   speedup needs at least $(docv) cores; output equality is checked \
+                   regardless.")
+  in
+  let history_arg =
+    Arg.(value & opt (some string) None
+         & info [ "history" ] ~docv:"FILE"
+             ~doc:"Append one entry with a $(b,real) block of measured points to this \
+                   JSONL bench history. The regression and scaling gates skip such \
+                   entries.")
+  in
+  let corrupt_arg =
+    Arg.(value & flag
+         & info [ "self-test-corrupt" ]
+             ~doc:"Self-test: flip one byte of the first parallel output before the \
+                   equality check. The command must then exit 1; used by \
+                   scripts/check.sh to prove the check can fail.")
+  in
+  let run bench threads scale history trace corrupt =
+    (match bench with
+    | None -> Ok ()
+    | Some b -> Result.map (fun (_ : Benchmarks.Study.t) -> ()) (find_study b))
+    |> Result.map (fun () ->
+           let benches = Option.map (fun b -> [ b ]) bench in
+           let outcome =
+             Runtime.Validate.run ?benches ~max_threads:threads ~scale ?history
+               ?trace:(trace_file trace) ~corrupt ()
+           in
+           (* Documented contract: 0 = byte-identical everywhere, 1 = any
+              mismatch; cmdliner reserves its own codes, so exit here. *)
+           if not outcome.Runtime.Validate.ok then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "validate-real"
+       ~doc:"Execute benchmarks on real OCaml domains (A|B|C pipeline over lock-free \
+             SPSC queues, speculative stages through versioned memory) and validate \
+             against the simulator: parallel output must be byte-identical to the \
+             sequential reference at every thread count, and measured wall-clock \
+             speedup is printed beside the simulator's prediction. Exits 0 when every \
+             output matches, 1 otherwise.")
+    Term.(term_result
+            (const run $ bench_opt_arg $ threads_arg $ scale_arg $ history_arg
+             $ trace_arg $ corrupt_arg))
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info =
@@ -406,5 +459,5 @@ let () =
        (Cmd.group ~default info
           [
             list_cmd; run_cmd; explain_cmd; lint_cmd; table1_cmd; table2_cmd; figure_cmd;
-            ablate_cmd; gantt_cmd; chart_cmd; auto_cmd; multistage_cmd;
+            ablate_cmd; gantt_cmd; chart_cmd; auto_cmd; multistage_cmd; validate_real_cmd;
           ]))

@@ -16,6 +16,16 @@ type gc_stats = {
   gc_major_collections : int;
 }
 
+type real_point = {
+  rp_study : string;
+  rp_threads : int;
+  rp_seconds : float;
+  rp_speedup : float;
+  rp_sim_speedup : float;
+  rp_ok : bool;
+  rp_squashes : int;
+}
+
 type entry = {
   rev : string;
   config : string;
@@ -24,6 +34,7 @@ type entry = {
   total_seconds : float;
   gc : gc_stats option;
   studies : study list;
+  real : real_point list;
 }
 
 let study_to_json s =
@@ -46,6 +57,18 @@ let gc_to_json g =
       ("major_collections", J.Int g.gc_major_collections);
     ]
 
+let real_to_json r =
+  J.Obj
+    [
+      ("study", J.Str r.rp_study);
+      ("threads", J.Int r.rp_threads);
+      ("seconds", J.Float r.rp_seconds);
+      ("speedup", J.Float r.rp_speedup);
+      ("sim_speedup", J.Float r.rp_sim_speedup);
+      ("ok", J.Bool r.rp_ok);
+      ("squashes", J.Int r.rp_squashes);
+    ]
+
 let entry_to_json e =
   J.Obj
     ([
@@ -56,7 +79,11 @@ let entry_to_json e =
        ("total_seconds", J.Float e.total_seconds);
      ]
     @ (match e.gc with None -> [] | Some g -> [ ("gc", gc_to_json g) ])
-    @ [ ("studies", J.Arr (List.map study_to_json e.studies)) ])
+    @ [ ("studies", J.Arr (List.map study_to_json e.studies)) ]
+    @
+    match e.real with
+    | [] -> []
+    | real -> [ ("real", J.Arr (List.map real_to_json real)) ])
 
 (* Integer-valued floats render as "3" and re-parse as [Int]; accept
    both shapes for every numeric field. *)
@@ -92,6 +119,16 @@ let gc_of_json j =
       gc_major_collections;
     }
 
+let real_of_json j =
+  let* rp_study = field "study" J.to_str j in
+  let* rp_threads = field "threads" J.to_int j in
+  let* rp_seconds = field "seconds" to_float j in
+  let* rp_speedup = field "speedup" to_float j in
+  let* rp_sim_speedup = field "sim_speedup" to_float j in
+  let* rp_ok = field "ok" (function J.Bool b -> Some b | _ -> None) j in
+  let* rp_squashes = field "squashes" J.to_int j in
+  Ok { rp_study; rp_threads; rp_seconds; rp_speedup; rp_sim_speedup; rp_ok; rp_squashes }
+
 let entry_of_json j =
   let* rev = field "rev" J.to_str j in
   let* config = field "config" J.to_str j in
@@ -115,7 +152,21 @@ let entry_of_json j =
         Ok (s :: acc))
       (Ok []) studies
   in
-  Ok { rev; config; scale; jobs; total_seconds; gc; studies = List.rev studies }
+  (* Optional: only validate-real entries carry measured points. *)
+  let* real =
+    match J.member "real" j with
+    | None -> Ok []
+    | Some (J.Arr rs) ->
+      List.fold_left
+        (fun acc r ->
+          let* acc = acc in
+          let* r = real_of_json r in
+          Ok (r :: acc))
+        (Ok []) rs
+      |> Result.map List.rev
+    | Some _ -> Error "mistyped field \"real\""
+  in
+  Ok { rev; config; scale; jobs; total_seconds; gc; studies = List.rev studies; real }
 
 let append path e =
   let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in

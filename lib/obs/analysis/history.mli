@@ -27,6 +27,16 @@ type gc_stats = {
   gc_major_collections : int;
 }
 
+type real_point = {
+  rp_study : string;
+  rp_threads : int;  (** real domain count of the measured run *)
+  rp_seconds : float;  (** measured wall-clock of the parallel section *)
+  rp_speedup : float;  (** sequential wall-clock over [rp_seconds] *)
+  rp_sim_speedup : float;  (** simulator's prediction at the same threads *)
+  rp_ok : bool;  (** parallel output byte-identical to sequential *)
+  rp_squashes : int;  (** mis-speculation squashes during the run *)
+}
+
 type entry = {
   rev : string;  (** short git revision, or "unknown" *)
   config : string;  (** digest of the bench configuration *)
@@ -37,6 +47,11 @@ type entry = {
       (** whole-run GC accounting; [None] on entries written without
           [--gc-stats] (and on all historical lines) *)
   studies : study list;
+  real : real_point list;
+      (** measured-on-real-domains points; non-empty only on entries
+          written by [repro validate-real].  Entries with a non-empty
+          [real] block record wall-clock measurements, not simulated
+          spans — regression and scaling gates must skip them. *)
 }
 
 val entry_to_json : entry -> Obs.Json.t

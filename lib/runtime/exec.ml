@@ -1,0 +1,407 @@
+module VM = Machine.Versioned_memory
+
+type role_stats = {
+  rs_role : string;
+  rs_items : int;
+  rs_busy : float;
+  rs_starved : float;
+  rs_blocked : float;
+}
+
+type stats = {
+  threads : int;
+  replicas : int;
+  seconds : float;
+  squashes : int;
+  violations : int;
+  roles : role_stats array;
+}
+
+type result = {
+  output : string;
+  stats : stats;
+  events : Obs.Event.t list;
+}
+
+let now = Unix.gettimeofday
+
+(* Per-role accounting; each role mutates only its own record, so no
+   synchronization is needed (the records are read after the batch
+   joins). *)
+type acct = {
+  mutable items : int;
+  mutable busy : float;
+  mutable starved : float;
+  mutable blocked : float;
+  mutable evs : Obs.Event.t list;  (* newest first *)
+}
+
+let make_acct () = { items = 0; busy = 0.; starved = 0.; blocked = 0.; evs = [] }
+
+(* Same bounded spin-then-sleep policy as {!Spsc.push}: on an
+   oversubscribed machine a spinning role must yield its timeslice to
+   whichever role can make progress. *)
+let backoff k = if k < 512 then Domain.cpu_relax () else Unix.sleepf 5e-5
+
+let pop_acct q acct =
+  match Spsc.try_pop q with
+  | `Item x -> Some x
+  | `Closed -> None
+  | `Empty ->
+    let t0 = now () in
+    let rec spin k =
+      match Spsc.try_pop q with
+      | `Item x ->
+        acct.starved <- acct.starved +. (now () -. t0);
+        Some x
+      | `Closed ->
+        acct.starved <- acct.starved +. (now () -. t0);
+        None
+      | `Empty ->
+        backoff k;
+        spin (k + 1)
+    in
+    spin 0
+
+let push_acct q acct x =
+  if not (Spsc.try_push q x) then begin
+    let t0 = now () in
+    let rec spin k =
+      if Spsc.try_push q x then acct.blocked <- acct.blocked +. (now () -. t0)
+      else begin
+        backoff k;
+        spin (k + 1)
+      end
+    in
+    spin 0
+  end
+
+let seq_result staged =
+  let t0 = now () in
+  let output = Staged.run_seq staged in
+  {
+    output;
+    stats =
+      {
+        threads = 1;
+        replicas = 0;
+        seconds = now () -. t0;
+        squashes = 0;
+        violations = 0;
+        roles = [||];
+      };
+    events = [];
+  }
+
+let run ?pool ?(queue_capacity = 64) ?(events = false) ?span_registry ~threads ~name staged
+    =
+  let go d p =
+      begin
+        let fused = d = 2 in
+        let r = if fused then 1 else d - 2 in
+        let n = Staged.iterations staged in
+        let accts = Array.init (r + 2) (fun _ -> make_acct ()) in
+        let t0 = ref (now ()) in
+        let us () = int_of_float ((now () -. !t0) *. 1e6) in
+        let buf = Buffer.create 4096 in
+        let squashes = ref 0 and violations = ref 0 in
+        let error = Atomic.make None in
+        (* Queues are existentially typed per Staged case, so each case
+           builds its own and registers them for poisoning here. *)
+        let poison_hooks = ref [] in
+        let poison_all () = List.iter (fun f -> f ()) !poison_hooks in
+        let guard f () =
+          try f () with
+          | Spsc.Poisoned -> ()
+          | e ->
+            let bt = Printexc.get_raw_backtrace () in
+            ignore (Atomic.compare_and_set error None (Some (e, bt)));
+            poison_all ()
+        in
+        let ev acct e = if events then acct.evs <- e :: acct.evs in
+        let task_span acct ~task ~core ~phase ~iteration body =
+          ev acct (Obs.Event.Task_start { time = us (); task; core; phase; iteration; work = 0 });
+          let tb = now () in
+          let v = body () in
+          acct.busy <- acct.busy +. (now () -. tb);
+          acct.items <- acct.items + 1;
+          ev acct (Obs.Event.Task_finish { time = us (); task; core });
+          v
+        in
+        let new_queues k =
+          let qs = Array.init k (fun _ -> Spsc.create ~capacity:queue_capacity ()) in
+          poison_hooks := (fun () -> Array.iter Spsc.poison qs) :: !poison_hooks;
+          qs
+        in
+        let push_ev acct queue slot q task =
+          ev acct
+            (Obs.Event.Queue_push { time = us (); queue; slot; occupancy = Spsc.length q; task })
+        in
+        let roles =
+          match staged with
+          | Staged.Pure s ->
+            let a2b = new_queues r in
+            let b2c = if fused then [||] else new_queues r in
+            let role_a () =
+              let acct = accts.(0) in
+              for i = 0 to n - 1 do
+                let item =
+                  task_span acct ~task:(3 * i) ~core:0 ~phase:'A' ~iteration:i (fun () ->
+                      s.Staged.produce i)
+                in
+                push_acct a2b.(i mod r) acct (i, item);
+                push_ev acct Obs.Event.In_queue (i mod r) a2b.(i mod r) (3 * i)
+              done;
+              Array.iter Spsc.close a2b
+            in
+            let transform acct k i item =
+              task_span acct ~task:((3 * i) + 1) ~core:(k + 1) ~phase:'B' ~iteration:i
+                (fun () -> s.Staged.transform item)
+            in
+            let consume acct i res =
+              task_span acct ~task:((3 * i) + 2) ~core:(r + 1) ~phase:'C' ~iteration:i
+                (fun () -> s.Staged.consume buf i res);
+              ev acct (Obs.Event.Iter_commit { time = us (); iteration = i })
+            in
+            let role_b k () =
+              let acct = accts.(k + 1) in
+              let rec loop () =
+                match pop_acct a2b.(k) acct with
+                | None -> Spsc.close b2c.(k)
+                | Some (i, item) ->
+                  let res = transform acct k i item in
+                  push_acct b2c.(k) acct (i, res);
+                  push_ev acct Obs.Event.Out_queue k b2c.(k) ((3 * i) + 1);
+                  loop ()
+              in
+              loop ()
+            in
+            let role_c () =
+              let acct = accts.(r + 1) in
+              for i = 0 to n - 1 do
+                match pop_acct b2c.(i mod r) acct with
+                | None -> failwith "Runtime.Exec: result stream ended early"
+                | Some (j, res) ->
+                  if j <> i then failwith "Runtime.Exec: out-of-order result";
+                  consume acct i res
+              done;
+              s.Staged.finish buf
+            in
+            let role_bc () =
+              let acct_b = accts.(1) and acct_c = accts.(2) in
+              let rec loop i =
+                match pop_acct a2b.(0) acct_b with
+                | None ->
+                  if i <> n then failwith "Runtime.Exec: item stream ended early";
+                  s.Staged.finish buf
+                | Some (j, item) ->
+                  if j <> i then failwith "Runtime.Exec: out-of-order item";
+                  let res = transform acct_b 0 i item in
+                  consume acct_c i res;
+                  loop (i + 1)
+              in
+              loop 0
+            in
+            if fused then [| role_a; role_bc |]
+            else Array.concat [ [| role_a |]; Array.init r role_b; [| role_c |] ]
+          | Staged.Spec s ->
+            let a2b = new_queues r in
+            let b2c = if fused then [||] else new_queues r in
+            let vm = VM.create () in
+            let vml = Mutex.create () in
+            List.iter (fun (loc, v) -> VM.set_committed vm ~loc v) s.Staged.sp_init;
+            let locked f =
+              Mutex.lock vml;
+              match f () with
+              | v ->
+                Mutex.unlock vml;
+                v
+              | exception e ->
+                Mutex.unlock vml;
+                raise e
+            in
+            let committed loc =
+              match VM.committed_value vm ~loc with Some v -> v | None -> 0
+            in
+            let role_a () =
+              let acct = accts.(0) in
+              for i = 0 to n - 1 do
+                let item =
+                  task_span acct ~task:(3 * i) ~core:0 ~phase:'A' ~iteration:i (fun () ->
+                      s.Staged.sp_produce i)
+                in
+                (* Versions open in logical order before dispatch, so a
+                   replica's speculative reads can forward from every
+                   earlier in-flight iteration. *)
+                locked (fun () -> VM.begin_task vm ~task:i);
+                push_acct a2b.(i mod r) acct (i, item);
+                push_ev acct Obs.Event.In_queue (i mod r) a2b.(i mod r) (3 * i)
+              done;
+              Array.iter Spsc.close a2b
+            in
+            let exec_spec acct k i item =
+              task_span acct ~task:((3 * i) + 1) ~core:(k + 1) ~phase:'B' ~iteration:i
+                (fun () ->
+                  let reads = ref [] in
+                  let read loc =
+                    let v =
+                      locked (fun () ->
+                          match VM.read vm ~task:i ~loc with Some v -> v | None -> 0)
+                    in
+                    reads := (loc, v) :: !reads;
+                    v
+                  in
+                  let writes, res = s.Staged.sp_exec ~read item in
+                  locked (fun () ->
+                      List.iter (fun (loc, v) -> VM.write vm ~task:i ~loc v) writes);
+                  (!reads, writes, res))
+            in
+            (* Commit-time validation: every value iteration [i] read
+               must equal the committed value now that all earlier
+               iterations have committed — i.e. exactly what the
+               sequential run would have read.  A mismatch squashes the
+               iteration: re-execute against committed state, neutralize
+               stale buffered writes (re-writing the committed value is
+               a silent store), and only then commit. *)
+            let commit_one acct i item (reads, writes, res) =
+              let stale =
+                locked (fun () -> List.exists (fun (loc, obs) -> committed loc <> obs) reads)
+              in
+              let writes, res =
+                if not stale then (writes, res)
+                else begin
+                  incr squashes;
+                  ev acct
+                    (Obs.Event.Task_squash
+                       { time = us (); task = (3 * i) + 1; core = r + 1; elapsed = 0 });
+                  let read loc = locked (fun () -> committed loc) in
+                  let tb = now () in
+                  let writes', res' = s.Staged.sp_exec ~read item in
+                  acct.busy <- acct.busy +. (now () -. tb);
+                  locked (fun () ->
+                      List.iter
+                        (fun (loc, _) ->
+                          if not (List.mem_assoc loc writes') then
+                            VM.write vm ~task:i ~loc (committed loc))
+                        writes);
+                  (writes', res')
+                end
+              in
+              let viols =
+                locked (fun () ->
+                    List.iter (fun (loc, v) -> VM.write vm ~task:i ~loc v) writes;
+                    VM.commit vm ~task:i)
+              in
+              violations := !violations + List.length viols;
+              task_span acct ~task:((3 * i) + 2) ~core:(r + 1) ~phase:'C' ~iteration:i
+                (fun () -> s.Staged.sp_consume buf i res);
+              ev acct (Obs.Event.Iter_commit { time = us (); iteration = i })
+            in
+            let role_b k () =
+              let acct = accts.(k + 1) in
+              let rec loop () =
+                match pop_acct a2b.(k) acct with
+                | None -> Spsc.close b2c.(k)
+                | Some (i, item) ->
+                  let payload = exec_spec acct k i item in
+                  push_acct b2c.(k) acct (i, item, payload);
+                  push_ev acct Obs.Event.Out_queue k b2c.(k) ((3 * i) + 1);
+                  loop ()
+              in
+              loop ()
+            in
+            let role_c () =
+              let acct = accts.(r + 1) in
+              for i = 0 to n - 1 do
+                match pop_acct b2c.(i mod r) acct with
+                | None -> failwith "Runtime.Exec: result stream ended early"
+                | Some (j, item, payload) ->
+                  if j <> i then failwith "Runtime.Exec: out-of-order result";
+                  commit_one acct i item payload
+              done;
+              s.Staged.sp_finish ~read:(fun loc -> locked (fun () -> committed loc)) buf
+            in
+            let role_bc () =
+              let acct_b = accts.(1) and acct_c = accts.(2) in
+              let rec loop i =
+                match pop_acct a2b.(0) acct_b with
+                | None ->
+                  if i <> n then failwith "Runtime.Exec: item stream ended early";
+                  s.Staged.sp_finish ~read:(fun loc -> locked (fun () -> committed loc)) buf
+                | Some (j, item) ->
+                  if j <> i then failwith "Runtime.Exec: out-of-order item";
+                  let payload = exec_spec acct_b 0 i item in
+                  commit_one acct_c i item payload;
+                  loop (i + 1)
+              in
+              loop 0
+            in
+            if fused then [| role_a; role_bc |]
+            else Array.concat [ [| role_a |]; Array.init r role_b; [| role_c |] ]
+        in
+        let nroles = Array.length roles in
+        t0 := now ();
+        let tstart = now () in
+        Parallel.Pool.parallel_for p ~n:nroles (fun k -> guard roles.(k) ());
+        let seconds = now () -. tstart in
+        (match Atomic.get error with
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ());
+        let role_name k = if k = 0 then "A" else if k <= r then Printf.sprintf "B%d" (k - 1) else "C" in
+        let role_rows =
+          Array.mapi
+            (fun k (a : acct) ->
+              {
+                rs_role = role_name k;
+                rs_items = a.items;
+                rs_busy = a.busy;
+                rs_starved = a.starved;
+                rs_blocked = a.blocked;
+              })
+            accts
+        in
+        (match span_registry with
+        | None -> ()
+        | Some reg ->
+          Array.iter
+            (fun rs -> Obs.Span.record reg (Printf.sprintf "real/%s/%s" name rs.rs_role) rs.rs_busy)
+            role_rows);
+        let merged_events =
+          if not events then []
+          else begin
+            let span_us = us () in
+            let all =
+              Array.fold_left (fun acc (a : acct) -> List.rev_append a.evs acc) [] accts
+            in
+            Obs.Event.Loop_begin { time = 0; loop = name }
+            :: List.stable_sort
+                 (fun a b -> Int.compare (Obs.Event.time a) (Obs.Event.time b))
+                 all
+            @ [ Obs.Event.Loop_end { time = span_us; loop = name; span = span_us } ]
+          end
+        in
+        {
+          output = Buffer.contents buf;
+          stats =
+            {
+              threads = d;
+              replicas = r;
+              seconds;
+              squashes = !squashes;
+              violations = !violations;
+              roles = role_rows;
+            };
+          events = merged_events;
+        }
+      end
+  in
+  match pool with
+  | Some p ->
+    let d = min threads (Parallel.Pool.size p) in
+    if d <= 1 then seq_result staged else go d p
+  | None ->
+    if threads <= 1 then seq_result staged
+    else
+      (* One pool slot per role: A + C + the B replicas (fused B+C at
+         two domains), so the role count equals [threads]. *)
+      Parallel.Pool.with_pool ~domains:threads (fun p -> go threads p)

@@ -1,0 +1,74 @@
+(** Execute a {!Staged.t} pipeline on real OCaml 5 domains.
+
+    Thread mapping follows the paper's plan: [threads = 1] runs the
+    sequential reference; [threads = 2] dedicates one domain to stage A
+    and fuses B and C on the second; [threads >= 3] dedicates one
+    domain to A, one to C, and replicates stage B on the remaining
+    [threads - 2] domains (PS-DSWP).  Work distribution is round-robin:
+    iteration [i] flows through the SPSC queue pair of replica
+    [i mod replicas], which both keeps every queue single-producer /
+    single-consumer and lets stage C restore iteration order without
+    reordering buffers — so the observable output is byte-identical to
+    {!Staged.run_seq} at every thread count.
+
+    The stage roles are dispatched onto a {!Parallel.Pool} batch (one
+    pool slot per role, via [parallel_for]); the pool's work-stealing
+    guarantees every role reaches a domain even when a role-chunk lands
+    behind a running role in some slot's deque.
+
+    [Spec] pipelines speculate through {!Machine.Versioned_memory}: A
+    opens one version per iteration in logical order, B replicas read
+    pre-iteration state through the versioned store (forwarding from
+    earlier in-flight writes) and buffer their writes, and C validates
+    at commit — every value the iteration read must equal the committed
+    (i.e. sequential) value; a stale read squashes the iteration, which
+    re-executes against committed state on C's domain before its
+    version commits.  Mis-speculation therefore costs time, never
+    correctness, and the squash count is reported in {!stats} rather
+    than in the output bytes (which timing must not influence). *)
+
+type role_stats = {
+  rs_role : string;  (** "A", "B0".."Bn", "C" *)
+  rs_items : int;  (** items this role processed *)
+  rs_busy : float;  (** seconds spent in stage bodies *)
+  rs_starved : float;  (** seconds blocked popping an empty in-queue *)
+  rs_blocked : float;  (** seconds blocked pushing a full out-queue *)
+}
+
+type stats = {
+  threads : int;
+  replicas : int;  (** B replica count actually used *)
+  seconds : float;  (** wall clock of the pipeline section *)
+  squashes : int;  (** iterations re-executed after a stale read *)
+  violations : int;  (** violation reports from the versioned memory *)
+  roles : role_stats array;  (** A, B replicas, C — in that order *)
+}
+
+type result = {
+  output : string;  (** observable output; must equal [Staged.run_seq] *)
+  stats : stats;
+  events : Obs.Event.t list;
+      (** real-execution event stream (timestamps in microseconds since
+          the run started), merged across roles in time order; empty
+          unless [~events:true] *)
+}
+
+val run :
+  ?pool:Parallel.Pool.t ->
+  ?queue_capacity:int ->
+  ?events:bool ->
+  ?span_registry:Obs.Span.t ->
+  threads:int ->
+  name:string ->
+  Staged.t ->
+  result
+(** [run ~threads ~name staged] executes the pipeline on [threads]
+    domains ([<= 1] means sequentially).  With [?pool] the roles run on
+    the given pool (clamping the stage layout to its size); otherwise a
+    dedicated pool of exactly the role count is created and shut down.
+    [?queue_capacity] sizes each SPSC ring (default 64 entries, the
+    paper's 32-entry queues doubled to amortize cursor traffic).
+    [?span_registry] receives per-role busy/starved/blocked aggregates
+    under ["real/<name>/<role>"].  If a stage body raises, all queues
+    are poisoned, every role unwinds, and the first exception is
+    re-raised on the caller. *)

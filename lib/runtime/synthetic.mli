@@ -1,0 +1,33 @@
+(** Turn an arbitrary PDG + DSWP partition into a runnable pipeline.
+
+    This is the differential-test bridge: {!Check.Gen_ir} generates a
+    random loop PDG, {!Dswp.Partition} cuts it into A|B|C, and this
+    module gives the cut an {e executable} semantics — each node's value
+    at iteration [i] is a deterministic hash of its id, the iteration,
+    and its dependence inputs:
+
+    - an intra-iteration edge [m -> n] contributes [v(m, i)],
+    - a loop-carried edge contributes [v(m, i-1)] (0 at iteration 0).
+
+    A dependence value is {e available} — and otherwise contributes 0,
+    identically in both implementations below — iff the producing
+    node's stage does not come after the consumer's, and a carried edge
+    inside replicated stage B is never available (B replicas keep no
+    cross-iteration state).  Lint-clean partitions never hit the
+    unavailable cases; the rule just keeps the semantics total.
+
+    {!staged} realizes this as a {!Staged.t} (A ships its current and
+    previous node values; B fills in its nodes; C completes the
+    iteration, keeping the previous iteration's full value vector for
+    carried edges, and digests {e every} node value into the output).
+    {!reference} is an independent direct interpreter of the same
+    semantics; {!Staged.run_seq} of {!staged} and a parallel
+    {!Exec.run} of it must both reproduce {!reference}'s bytes
+    exactly. *)
+
+val staged : Ir.Pdg.t -> Dswp.Partition.t -> iterations:int -> Staged.t
+(** Fresh pipeline; build one per run. *)
+
+val reference : Ir.Pdg.t -> Dswp.Partition.t -> iterations:int -> string
+(** Independent sequential interpreter of the same observable
+    semantics. *)

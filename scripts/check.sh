@@ -160,5 +160,33 @@ printf '%s\n%s\n' "$seq_entry" "$par_ok" > "$hist_scale"
 SCALING_TOLERANCE=0.15 dune exec scripts/compare_bench.exe -- --scaling "$hist_scale" > /dev/null
 rm -f "$hist_scale"
 
-echo "check.sh: build + runtest + prop + bench smoke (jobs=1 and jobs=${SCALE_JOBS}, identical stdout) + trace smoke + lint gate + perf gate + scaling gate OK (schedules oracle-validated)"
+# Real-runtime smoke: execute one small bench on actual domains and
+# assert the parallel output is byte-identical to the sequential
+# reference (validate-real exits 1 on any mismatch).  The run appends a
+# `real` entry to BENCH_history.jsonl; such entries are ignored by the
+# perf/scaling gates above (they measure the simulator, not the
+# runtime) but must round-trip through the history format.
+hist_len_before="$(wc -l < BENCH_history.jsonl)"
+dune exec bin/repro.exe -- validate-real -b 164.gzip -t 2 -s small \
+  --history BENCH_history.jsonl > /dev/null
+hist_len_after="$(wc -l < BENCH_history.jsonl)"
+if [[ "$hist_len_after" -ne $((hist_len_before + 1)) ]]; then
+  echo "check.sh: validate-real did not append exactly one history entry" >&2
+  exit 1
+fi
+if ! tail -n 1 BENCH_history.jsonl | grep -q '"real"'; then
+  echo "check.sh: validate-real history entry lacks a real block" >&2
+  exit 1
+fi
+
+# Equality-check self-test: with a deliberately corrupted parallel
+# output the byte-equality check must fail, proving validate-real can
+# actually detect a wrong answer (exit 1; no history written).
+if dune exec bin/repro.exe -- validate-real -b 164.gzip -t 2 -s small \
+  --self-test-corrupt > /dev/null 2>&1; then
+  echo "check.sh: validate-real --self-test-corrupt did not fail" >&2
+  exit 1
+fi
+
+echo "check.sh: build + runtest + prop + bench smoke (jobs=1 and jobs=${SCALE_JOBS}, identical stdout) + trace smoke + lint gate + perf gate + scaling gate + validate-real smoke OK (schedules oracle-validated)"
 echo "perf record: BENCH_pipeline.json, BENCH_summary.json, BENCH_summary.csv, BENCH_history.jsonl"

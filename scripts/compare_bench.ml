@@ -35,7 +35,13 @@ let env_fraction name default =
     | Some t when t >= 0. -> t
     | _ -> fail "%s must be a non-negative fraction, got %S" name s)
 
-let load file = match H.load file with Ok es -> es | Error e -> fail "%s" e
+(* validate-real entries (non-empty [real] block) record wall-clock
+   measurements of real domain runs, not simulated spans; both gates
+   compare simulator numbers, so those entries are invisible here. *)
+let load file =
+  match H.load file with
+  | Ok es -> List.filter (fun (e : H.entry) -> e.H.real = []) es
+  | Error e -> fail "%s" e
 
 (* ------------------------------------------------------------------ *)
 (* Default mode: simulated-numbers regression gate                     *)

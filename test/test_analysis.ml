@@ -126,6 +126,7 @@ let entry rev studies =
     total_seconds = 1.5;
     gc = None;
     studies;
+    real = [];
   }
 
 let study name span speedup =

@@ -102,7 +102,7 @@ let steal_heavy_stress () =
           Alcotest.(check (array int))
             (Printf.sprintf "parallel_for covers all at %d domains" domains)
             (Array.make n 1) hits))
-    [ 1; 2; 4 ]
+    (Test_util.domain_counts ())
 
 let stats_account_for_all_tasks () =
   Parallel.Pool.with_pool ~domains:4 (fun pool ->

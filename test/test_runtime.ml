@@ -1,0 +1,333 @@
+(* The real Domain-parallel DSWP runtime: SPSC queue semantics (model-
+   based and cross-domain), executor output equality against the
+   sequential reference for all 11 staged benchmarks, speculation
+   squash behaviour, and the sim-vs-real cross-validation harness. *)
+
+module Spsc = Runtime.Spsc
+module Staged = Runtime.Staged
+module Exec = Runtime.Exec
+
+(* ------------------------------------------------------------------ *)
+(* SPSC queue vs a FIFO model under a randomized operation schedule    *)
+
+let spsc_matches_model () =
+  let rng = Simcore.Rng.create 0xC0FFEE in
+  for _round = 1 to 40 do
+    let cap = 1 lsl Simcore.Rng.int_in rng 0 5 in
+    let q = Spsc.create ~capacity:cap () in
+    Alcotest.(check int) "capacity is the requested power of two" cap (Spsc.capacity q);
+    let model = Queue.create () in
+    let next = ref 0 in
+    for _op = 1 to 400 do
+      if Simcore.Rng.bool rng then begin
+        let pushed = Spsc.try_push q !next in
+        Alcotest.(check bool)
+          "try_push succeeds iff the model queue has room"
+          (Queue.length model < cap) pushed;
+        if pushed then begin
+          Queue.push !next model;
+          incr next
+        end
+      end
+      else begin
+        match Spsc.try_pop q with
+        | `Item x -> Alcotest.(check int) "FIFO order" (Queue.pop model) x
+        | `Empty -> Alcotest.(check bool) "empty iff model empty" true (Queue.is_empty model)
+        | `Closed -> Alcotest.fail "never closed in this schedule"
+      end;
+      Alcotest.(check int) "length tracks the model" (Queue.length model) (Spsc.length q)
+    done
+  done
+
+let spsc_close_semantics () =
+  let q = Spsc.create ~capacity:4 () in
+  assert (Spsc.try_push q 1);
+  assert (Spsc.try_push q 2);
+  Spsc.close q;
+  (* Close stops the stream after the buffered items drain. *)
+  Alcotest.(check (option int)) "drains first item" (Some 1) (Spsc.pop q);
+  Alcotest.(check (option int)) "drains second item" (Some 2) (Spsc.pop q);
+  Alcotest.(check (option int)) "then end of stream" None (Spsc.pop q);
+  match Spsc.try_pop q with
+  | `Closed -> ()
+  | _ -> Alcotest.fail "try_pop after drain must report `Closed"
+
+let spsc_poison_raises () =
+  let q = Spsc.create () in
+  assert (Spsc.try_push q 1);
+  Spsc.poison q;
+  Alcotest.check_raises "push raises" Spsc.Poisoned (fun () -> Spsc.push q 2);
+  Alcotest.check_raises "pop raises" Spsc.Poisoned (fun () -> ignore (Spsc.pop q))
+
+(* Two real domains, 1M items: nothing lost, nothing duplicated,
+   nothing reordered.  A large ring keeps the single-core fallback
+   (spin-then-sleep handoff) fast enough to stress in-test. *)
+let spsc_two_domain_stress () =
+  let n = 1_000_000 in
+  let q = Spsc.create ~capacity:1024 () in
+  let producer =
+    Domain.spawn (fun () ->
+        for i = 0 to n - 1 do
+          Spsc.push q i
+        done;
+        Spsc.close q)
+  in
+  let expected = ref 0 in
+  let received = ref 0 in
+  let ok = ref true in
+  let rec drain () =
+    match Spsc.pop q with
+    | Some x ->
+      if x <> !expected then ok := false;
+      incr expected;
+      incr received;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Domain.join producer;
+  Alcotest.(check bool) "in order" true !ok;
+  Alcotest.(check int) "all items received exactly once" n !received
+
+(* ------------------------------------------------------------------ *)
+(* Executor: every staged benchmark, byte-identical at every count     *)
+
+let bench_output_equality () =
+  let counts =
+    (* Always exercise a replicated-B layout (>= 3 roles) even on a
+       small machine; correctness cannot depend on the core count. *)
+    List.sort_uniq compare (Test_util.domain_counts () @ [ 3; 4 ])
+  in
+  List.iter
+    (fun name ->
+      let seq = Staged.run_seq (Runtime.Real_bench.staged name) in
+      List.iter
+        (fun threads ->
+          let r = Exec.run ~threads ~name (Runtime.Real_bench.staged name) in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s byte-identical at %d threads" name threads)
+            true
+            (r.Exec.output = seq))
+        counts)
+    Runtime.Real_bench.names
+
+let role_stats_cover_all_items () =
+  let name = "164.gzip" in
+  let r = Exec.run ~threads:4 ~name (Runtime.Real_bench.staged name) in
+  let n = Staged.iterations (Runtime.Real_bench.staged name) in
+  let items role_prefix =
+    Array.fold_left
+      (fun acc rs ->
+        if String.length rs.Exec.rs_role > 0 && rs.Exec.rs_role.[0] = role_prefix then
+          acc + rs.Exec.rs_items
+        else acc)
+      0 r.Exec.stats.Exec.roles
+  in
+  Alcotest.(check int) "A produced every iteration" n (items 'A');
+  Alcotest.(check int) "B replicas covered every iteration" n (items 'B');
+  Alcotest.(check int) "C consumed every iteration" n (items 'C');
+  Alcotest.(check int) "replicas per the paper's plan" 2 r.Exec.stats.Exec.replicas
+
+let events_well_formed () =
+  let name = "181.mcf" in
+  let staged = Runtime.Real_bench.staged name in
+  let n = Staged.iterations staged in
+  let r = Exec.run ~threads:3 ~name ~events:true staged in
+  (match r.Exec.events with
+  | Obs.Event.Loop_begin _ :: _ -> ()
+  | _ -> Alcotest.fail "first event is Loop_begin");
+  (match List.rev r.Exec.events with
+  | Obs.Event.Loop_end _ :: _ -> ()
+  | _ -> Alcotest.fail "last event is Loop_end");
+  let commits =
+    List.length
+      (List.filter (function Obs.Event.Iter_commit _ -> true | _ -> false) r.Exec.events)
+  in
+  Alcotest.(check int) "one commit per iteration" n commits;
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> Obs.Event.time a <= Obs.Event.time b && sorted rest
+    | _ -> true
+  in
+  (* The inner stream is time-sorted between the loop markers. *)
+  Alcotest.(check bool) "events in time order" true (sorted r.Exec.events)
+
+let stage_exception_propagates () =
+  let staged =
+    Staged.Pure
+      {
+        Staged.iterations = 100;
+        produce = (fun i -> i);
+        transform = (fun i -> if i = 57 then failwith "boom" else i);
+        consume = (fun buf _ r -> Buffer.add_string buf (string_of_int r));
+        finish = ignore;
+      }
+  in
+  match Exec.run ~threads:4 ~name:"boom" staged with
+  | exception Failure m -> Alcotest.(check string) "original exception" "boom" m
+  | _ -> Alcotest.fail "stage exception must re-raise on the caller"
+
+(* ------------------------------------------------------------------ *)
+(* Speculation: conflicts squash, output stays sequential              *)
+
+(* Every iteration reads the location the previous iteration wrote, so
+   any replica running ahead of the commit point reads a stale value;
+   the runtime must squash it and still reproduce the sequential
+   output.  B work is padded so iterations genuinely overlap. *)
+let conflict_staged () =
+  let pad = ref 0 in
+  Staged.Spec
+    {
+      Staged.sp_iterations = 64;
+      sp_init = [ (0, 1) ];
+      sp_produce = (fun i -> i);
+      sp_exec =
+        (fun ~read i ->
+          for k = 0 to 2000 do
+            pad := !pad + k
+          done;
+          let v = read 0 in
+          ([ (0, Staged.mix v i) ], Staged.mix v i));
+      sp_consume = (fun buf i d -> Buffer.add_string buf (Printf.sprintf "%d %s\n" i (Staged.hex d)));
+      sp_finish = (fun ~read buf -> Buffer.add_string buf (Staged.hex (read 0) ^ "\n"));
+    }
+
+let speculation_squashes_and_recovers () =
+  let seq = Staged.run_seq (conflict_staged ()) in
+  let squashes = ref 0 in
+  for _attempt = 1 to 5 do
+    let r = Exec.run ~threads:4 ~name:"conflict" (conflict_staged ()) in
+    Alcotest.(check bool) "output sequential despite conflicts" true (r.Exec.output = seq);
+    squashes := !squashes + r.Exec.stats.Exec.squashes
+  done;
+  (* A dependence chain through location 0 with two replicas racing:
+     across 5 runs at least one speculative read must have gone stale. *)
+  Alcotest.(check bool) "mis-speculation actually occurred" true (!squashes > 0)
+
+let spec_benches_squash_and_match () =
+  List.iter
+    (fun name ->
+      let seq = Staged.run_seq (Runtime.Real_bench.staged name) in
+      let r = Exec.run ~threads:4 ~name (Runtime.Real_bench.staged name) in
+      Alcotest.(check bool) (name ^ " byte-identical with speculation") true
+        (r.Exec.output = seq))
+    [ "175.vpr"; "300.twolf" ]
+
+(* ------------------------------------------------------------------ *)
+(* The validate-real harness itself                                    *)
+
+let validate_catches_corruption () =
+  (* The gate's self-test: a corrupted parallel output must flip the
+     verdict, proving the equality check can fail. *)
+  let honest =
+    Runtime.Validate.run ~benches:[ "181.mcf" ] ~max_threads:2 ~scale:Benchmarks.Study.Small ()
+  in
+  Alcotest.(check bool) "honest run validates" true honest.Runtime.Validate.ok;
+  let corrupted =
+    Runtime.Validate.run ~benches:[ "181.mcf" ] ~max_threads:2 ~scale:Benchmarks.Study.Small
+      ~corrupt:true ()
+  in
+  Alcotest.(check bool) "corrupted run fails" false corrupted.Runtime.Validate.ok
+
+let validate_history_round_trips () =
+  let path = Filename.temp_file "validate_real" ".jsonl" in
+  Sys.remove path;
+  let outcome =
+    Runtime.Validate.run ~benches:[ "253.perlbmk" ] ~max_threads:2
+      ~scale:Benchmarks.Study.Small ~history:path ()
+  in
+  let entries =
+    match Obs_analysis.History.load path with
+    | Ok es -> es
+    | Error e -> Alcotest.fail e
+  in
+  Sys.remove path;
+  match entries with
+  | [ e ] ->
+    Alcotest.(check int) "all measured points recorded" (List.length outcome.Runtime.Validate.points)
+      (List.length e.Obs_analysis.History.real);
+    Alcotest.(check bool) "real block non-empty" true (e.Obs_analysis.History.real <> []);
+    List.iter
+      (fun (p : Obs_analysis.History.real_point) ->
+        Alcotest.(check bool) "point validated" true p.Obs_analysis.History.rp_ok)
+      e.Obs_analysis.History.real
+  | es -> Alcotest.fail (Printf.sprintf "expected 1 history entry, found %d" (List.length es))
+
+(* Sim-vs-real tolerance: the measured speedup *ordering* of the three
+   smallest benches must not contradict the simulator's predicted
+   ordering.  Wall-clock speedup needs real cores: on a machine with
+   fewer than 4 recommended domains the measurement would only reflect
+   scheduler thrash, so the check logs a notice and skips. *)
+let sim_vs_real_ordering () =
+  if Test_util.available_domains () < 4 then
+    print_endline
+      (Printf.sprintf
+         "NOTICE: sim-vs-real ordering skipped — %d recommended domain(s), need 4"
+         (Test_util.available_domains ()))
+  else begin
+    let scale = Benchmarks.Study.Medium in
+    let outcome =
+      Runtime.Validate.run ~benches:Runtime.Real_bench.small_three ~max_threads:4 ~scale ()
+    in
+    Alcotest.(check bool) "outputs validated" true outcome.Runtime.Validate.ok;
+    let best_of bench f =
+      List.fold_left
+        (fun acc (p : Obs_analysis.History.real_point) ->
+          if p.Obs_analysis.History.rp_study = bench then max acc (f p) else acc)
+        0. outcome.Runtime.Validate.points
+    in
+    let measured b = best_of b (fun p -> p.Obs_analysis.History.rp_speedup) in
+    let predicted b = best_of b (fun p -> p.Obs_analysis.History.rp_sim_speedup) in
+    (* Kendall comparison over the three pairs: concordant pairs must
+       not be outnumbered by discordant ones (ordering, not absolute). *)
+    let pairs =
+      match Runtime.Real_bench.small_three with
+      | [ a; b; c ] -> [ (a, b); (a, c); (b, c) ]
+      | _ -> Alcotest.fail "small_three must have three benches"
+    in
+    let score =
+      List.fold_left
+        (fun acc (x, y) ->
+          let sim = compare (predicted x) (predicted y) in
+          let real = compare (measured x) (measured y) in
+          if sim = 0 || real = 0 then acc
+          else if sim = real then acc + 1
+          else acc - 1)
+        0 pairs
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "measured ordering tracks predicted ordering (score %d)" score)
+      true (score >= 0)
+  end
+
+let () =
+  Alcotest.run "runtime"
+    [
+      ( "spsc",
+        [
+          Alcotest.test_case "matches FIFO model" `Quick spsc_matches_model;
+          Alcotest.test_case "close semantics" `Quick spsc_close_semantics;
+          Alcotest.test_case "poison raises" `Quick spsc_poison_raises;
+          Alcotest.test_case "two-domain 1M-item stress" `Quick spsc_two_domain_stress;
+        ] );
+      ( "exec",
+        [
+          Alcotest.test_case "all 11 benches byte-identical" `Quick bench_output_equality;
+          Alcotest.test_case "role stats cover all items" `Quick role_stats_cover_all_items;
+          Alcotest.test_case "events well-formed" `Quick events_well_formed;
+          Alcotest.test_case "stage exception propagates" `Quick stage_exception_propagates;
+        ] );
+      ( "speculation",
+        [
+          Alcotest.test_case "conflicts squash and recover" `Quick
+            speculation_squashes_and_recovers;
+          Alcotest.test_case "spec benches match with speculation" `Quick
+            spec_benches_squash_and_match;
+        ] );
+      ( "validate",
+        [
+          Alcotest.test_case "catches corrupted output" `Quick validate_catches_corruption;
+          Alcotest.test_case "history round-trips real block" `Quick
+            validate_history_round_trips;
+          Alcotest.test_case "sim-vs-real ordering" `Slow sim_vs_real_ordering;
+        ] );
+    ]

@@ -1,0 +1,10 @@
+(* Shared helpers for tests that spawn real domains. *)
+
+let available_domains () = max 1 (Domain.recommended_domain_count ())
+
+(* Domain counts worth testing on this machine: always 1 and 2 (the
+   cross-domain protocols must be exercised even on a small box — they
+   are correct, just slower, when cores are oversubscribed), plus 4
+   when the machine can actually host it. *)
+let domain_counts () =
+  if available_domains () >= 4 then [ 1; 2; 4 ] else [ 1; 2 ]
