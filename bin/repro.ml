@@ -5,6 +5,7 @@
      repro run -b 164.gzip           sweep one benchmark
      repro explain -b 256.bzip2     stall/critical-path attribution
      repro lint -b 197.parser        plan soundness + race lint
+     repro plan -b 164.gzip          auto-planner tournament over the plan space
      repro table1 / table2           the paper's tables
      repro figure -n 4               figure by number (3..7)
      repro ablate -b 300.twolf       annotated vs baseline plan
@@ -395,6 +396,73 @@ let lint_cmd =
              warnings).")
     Term.(term_result (const run $ bench_arg $ scale_arg $ strict_arg $ mutate_arg))
 
+let plan_cmd =
+  let beam_arg =
+    Arg.(value & opt int 8
+         & info [ "beam" ] ~docv:"K"
+             ~doc:"Simulation wave size: the branch-and-bound incumbent advances \
+                   between waves of $(docv) candidates.")
+  in
+  let budget_arg =
+    Arg.(value & opt int 64
+         & info [ "budget" ] ~docv:"N"
+             ~doc:"Maximum number of candidate simulations; seed plans are always \
+                   simulated and exempt from the budget.")
+  in
+  let plan_threads_arg =
+    Arg.(value & opt int 16
+         & info [ "t"; "threads" ] ~docv:"N"
+             ~doc:"Simulated machine size for replicated candidates.")
+  in
+  let corrupt_arg =
+    Arg.(value & flag
+         & info [ "corrupt-candidates" ]
+             ~doc:"Self-test: structurally corrupt every non-seed candidate's \
+                   partition (a serial stage merged into the replicated stage) \
+                   before linting. The lint pruner must then reject candidates: \
+                   exits 0 iff the reported lint-pruned count is positive; used by \
+                   scripts/check.sh to prove the pruning path fires.")
+  in
+  let run name beam budget threads jobs corrupt =
+    with_study name (fun study ->
+      with_pool jobs (fun pool ->
+          let report =
+            Core.Plan_search.run ~pool ~beam ~budget ~threads ~corrupt study
+          in
+          Core.Plan_search.pp Format.std_formatter report;
+          (* Documented contract (cmdliner reserves its own codes, so exit
+             explicitly): normally 0 iff a winner exists, every simulated
+             run is oracle-valid, and the winner matches or beats the hand
+             seed; with --corrupt-candidates, 0 iff lint pruned anything. *)
+          let ok =
+            if corrupt then
+              report.Core.Plan_search.search.Dswp.Search.counts
+                .Dswp.Search.lint_pruned > 0
+            else
+              match
+                ( Core.Plan_search.winner_speedup report,
+                  Core.Plan_search.seed_speedup report )
+              with
+              | Some w, Some h ->
+                Core.Plan_search.oracle_clean report && w +. 1e-9 >= h
+              | _ -> false
+          in
+          if not ok then exit 1;
+          Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "plan"
+       ~doc:"Search the plan space for a benchmark: enumerate breaker subsets \
+             and stage assignments from both partitioners (DAG-SCC and backward \
+             slicing), reject unsound candidates with the lint, prune with sound \
+             analytic bounds, simulate survivors across a worker pool, and \
+             validate every simulated schedule with the oracle. Prints a ranked \
+             table; exits 0 when the winning plan is oracle-valid and matches or \
+             beats the hand plan, 1 otherwise.")
+    Term.(term_result
+            (const run $ bench_arg $ beam_arg $ budget_arg $ plan_threads_arg
+             $ jobs_arg $ corrupt_arg))
+
 let validate_real_cmd =
   let bench_opt_arg =
     Arg.(value & opt (some string) None
@@ -458,6 +526,7 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           [
-            list_cmd; run_cmd; explain_cmd; lint_cmd; table1_cmd; table2_cmd; figure_cmd;
-            ablate_cmd; gantt_cmd; chart_cmd; auto_cmd; multistage_cmd; validate_real_cmd;
+            list_cmd; run_cmd; explain_cmd; lint_cmd; plan_cmd; table1_cmd; table2_cmd;
+            figure_cmd; ablate_cmd; gantt_cmd; chart_cmd; auto_cmd; multistage_cmd;
+            validate_real_cmd;
           ]))

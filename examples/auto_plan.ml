@@ -1,42 +1,66 @@
-(* Fully automatic parallelization: let the profiling pass choose the
-   speculation plan (Section 2.1's "judicious use of speculation"),
-   providing only the Commutative annotations a profile cannot infer.
-   Compares the inferred plan against each study's hand-written one.
+(* Fully automatic parallelization, two ways:
+
+   - the profiling pass infers a speculation plan from the recorded run
+     (Section 2.1's "judicious use of speculation"), given only the
+     Commutative annotations a profile cannot infer;
+   - the planner tournament (Core.Plan_search) searches the whole plan
+     space — partitioner x breaker subset x replication x queue depth —
+     pruning with the lint and sound analytic bounds.
+
+   Both are compared against each study's hand-written plan.
 
      dune exec examples/auto_plan.exe
 *)
 
+let missing_point bench =
+  (* A sweep that cannot produce the requested point is a broken
+     experiment, not a zero — fail loudly instead of printing nan. *)
+  Format.eprintf "auto_plan: no 16-thread sweep point for %s@." bench;
+  exit 1
+
 let () =
-  Format.printf "%-12s %12s %12s   inferred decisions@." "benchmark" "hand plan"
-    "auto plan";
-  List.iter
-    (fun (s : Benchmarks.Study.t) ->
-      let speedup_of built =
-        let series =
-          Sim.Speedup.sweep ~threads:[ 1; 16 ] ~label:"x" built.Core.Framework.input
-        in
-        match Sim.Speedup.at_threads series 16 with
-        | Some p -> p.Sim.Speedup.speedup
-        | None -> nan
-      in
-      let hand =
-        speedup_of
-          (Core.Framework.build ~plan:s.Benchmarks.Study.plan
-             (s.Benchmarks.Study.run ~scale:Benchmarks.Study.Small))
-      in
-      (* Reuse the study's Commutative annotations — the programmer's
-         contribution — and infer everything else. *)
-      let commutative = s.Benchmarks.Study.plan.Speculation.Spec_plan.commutative in
-      let auto_built, plans =
-        Core.Framework.build_auto ~commutative
-          (s.Benchmarks.Study.run ~scale:Benchmarks.Study.Small)
-      in
-      let auto = speedup_of auto_built in
-      let describe (_, (p : Speculation.Spec_plan.t)) =
-        Printf.sprintf "%d value / %d sync locs"
-          (List.length p.Speculation.Spec_plan.value_locs)
-          (List.length p.Speculation.Spec_plan.sync_locs)
-      in
-      Format.printf "%-12s %11.2fx %11.2fx   %s@." s.Benchmarks.Study.spec_name hand auto
-        (String.concat "; " (List.map describe plans |> List.filteri (fun i _ -> i < 2))))
-    Benchmarks.Registry.all
+  Parallel.Pool.with_pool ~domains:(Parallel.Pool.default_domains ()) (fun pool ->
+      Format.printf "%-12s %12s %12s %12s   inferred decisions@." "benchmark"
+        "hand plan" "auto plan" "search";
+      List.iter
+        (fun (s : Benchmarks.Study.t) ->
+          let speedup_of built =
+            let series =
+              Sim.Speedup.sweep ~threads:[ 1; 16 ] ~label:"x"
+                built.Core.Framework.input
+            in
+            match Sim.Speedup.at_threads series 16 with
+            | Some p -> p.Sim.Speedup.speedup
+            | None -> missing_point s.Benchmarks.Study.spec_name
+          in
+          let hand =
+            speedup_of
+              (Core.Framework.build ~plan:s.Benchmarks.Study.plan
+                 (s.Benchmarks.Study.run ~scale:Benchmarks.Study.Small))
+          in
+          (* Reuse the study's Commutative annotations — the programmer's
+             contribution — and infer everything else. *)
+          let commutative = s.Benchmarks.Study.plan.Speculation.Spec_plan.commutative in
+          let auto_built, plans =
+            Core.Framework.build_auto ~commutative
+              (s.Benchmarks.Study.run ~scale:Benchmarks.Study.Small)
+          in
+          let auto = speedup_of auto_built in
+          let search =
+            let report = Core.Plan_search.run ~pool s in
+            match Core.Plan_search.winner_speedup report with
+            | Some w -> w
+            | None -> missing_point s.Benchmarks.Study.spec_name
+          in
+          let describe (_, (p : Speculation.Spec_plan.t)) =
+            Printf.sprintf "%d value / %d sync locs"
+              (List.length p.Speculation.Spec_plan.value_locs)
+              (List.length p.Speculation.Spec_plan.sync_locs)
+          in
+          let shown = List.filteri (fun i _ -> i < 2) plans in
+          let hidden = List.length plans - List.length shown in
+          Format.printf "%-12s %11.2fx %11.2fx %11.2fx   %s%s@."
+            s.Benchmarks.Study.spec_name hand auto search
+            (String.concat "; " (List.map describe shown))
+            (if hidden > 0 then Printf.sprintf "; … +%d more" hidden else ""))
+        Benchmarks.Registry.all)

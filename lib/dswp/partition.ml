@@ -7,107 +7,56 @@ type stage = {
 
 type t = { stages : stage list; broken : Ir.Pdg.edge list }
 
-(* Reachability over the SCC condensation, as adjacency between component
-   indices. *)
-let condensation_adj pdg surviving comps =
-  let comp_of = Hashtbl.create 16 in
-  List.iteri (fun ci nodes -> List.iter (fun n -> Hashtbl.replace comp_of n ci) nodes) comps;
-  let k = List.length comps in
-  let adj = Array.make k [] in
-  List.iter
-    (fun (e : Ir.Pdg.edge) ->
-      if surviving e then begin
-        let cs = Hashtbl.find comp_of e.Ir.Pdg.src and cd = Hashtbl.find comp_of e.Ir.Pdg.dst in
-        if cs <> cd && not (List.mem cd adj.(cs)) then adj.(cs) <- cd :: adj.(cs)
-      end)
-    (Ir.Pdg.edges pdg);
-  (comp_of, adj)
-
-let reachable adj from =
-  let k = Array.length adj in
-  let seen = Array.make k false in
-  let rec go v =
-    List.iter
-      (fun w ->
-        if not seen.(w) then begin
-          seen.(w) <- true;
-          go w
-        end)
-      adj.(v)
-  in
-  go from;
-  seen
-
 let partition pdg ~enabled =
   let surviving (e : Ir.Pdg.edge) =
     match e.Ir.Pdg.breaker with None -> true | Some b -> not (enabled b)
   in
   let broken = List.filter (fun e -> not (surviving e)) (Ir.Pdg.edges pdg) in
-  let comps = Ir.Pdg.sccs pdg ~consider:surviving () in
-  let comp_arr = Array.of_list comps in
-  let k = Array.length comp_arr in
-  let comp_of, adj = condensation_adj pdg surviving comps in
-  ignore comp_of;
-  (* Transpose for ancestor queries. *)
-  let radj = Array.make k [] in
-  Array.iteri (fun v ws -> List.iter (fun w -> radj.(w) <- v :: radj.(w)) ws) adj;
-  let weight_of ci =
-    List.fold_left (fun acc n -> acc +. (Ir.Pdg.node pdg n).Ir.Pdg.weight) 0.0 comp_arr.(ci)
-  in
-  let eligible ci =
-    let nodes = comp_arr.(ci) in
-    let internal_carried =
-      List.exists
-        (fun (e : Ir.Pdg.edge) ->
-          surviving e && e.Ir.Pdg.loop_carried && List.mem e.Ir.Pdg.src nodes
-          && List.mem e.Ir.Pdg.dst nodes)
-        (Ir.Pdg.edges pdg)
-    in
-    (not internal_carried)
-    && List.for_all (fun n -> (Ir.Pdg.node pdg n).Ir.Pdg.replicable) nodes
-  in
+  let c = Scc_util.condense pdg ~surviving in
+  let k = Scc_util.component_count c in
   let eligibles =
-    List.init k Fun.id |> List.filter eligible
-    |> List.sort (fun a b -> compare (weight_of b) (weight_of a))
+    List.init k Fun.id
+    |> List.filter (fun ci -> c.Scc_util.eligible.(ci))
+    |> List.sort (fun a b ->
+           match compare c.Scc_util.weight.(b) c.Scc_util.weight.(a) with
+           | 0 -> compare a b
+           | n -> n)
   in
+  let reach = Scc_util.reach_cache c.Scc_util.adj in
   let in_b = Array.make k false in
   (match eligibles with
   | [] -> ()
   | seed :: rest ->
     in_b.(seed) <- true;
-    (* Grow B with eligible components unordered w.r.t. every member. *)
-    let unordered ci cj =
-      (not (reachable adj ci).(cj)) && not (reachable adj cj).(ci)
-    in
+    (* Grow B with eligible components unordered w.r.t. every member.
+       Reachability is memoized per source, so growth costs one DAG
+       walk per queried component, not one per candidate pair. *)
+    let members = ref [ seed ] in
+    let unordered ci cj = (not (reach ci).(cj)) && not (reach cj).(ci) in
     List.iter
       (fun ci ->
-        let ok = List.init k Fun.id |> List.for_all (fun cj -> (not in_b.(cj)) || unordered ci cj) in
-        if ok then in_b.(ci) <- true)
+        if List.for_all (fun cj -> unordered ci cj) !members then begin
+          in_b.(ci) <- true;
+          members := ci :: !members
+        end)
       rest);
   (* A = ancestors of B; C = the rest (descendants of B and components
      unordered with B that were not promoted into it). *)
-  let in_a = Array.make k false in
-  for ci = 0 to k - 1 do
-    if in_b.(ci) then begin
-      let anc = reachable radj ci in
-      Array.iteri (fun cj r -> if r && not in_b.(cj) then in_a.(cj) <- true) anc
-    end
-  done;
+  let b_members = List.init k Fun.id |> List.filter (fun ci -> in_b.(ci)) in
+  let anc = Scc_util.multi_reachable c.Scc_util.radj ~from:b_members in
+  let in_a = Array.init k (fun ci -> anc.(ci) && not in_b.(ci)) in
   let phase_of ci =
     if in_b.(ci) then Ir.Task.B else if in_a.(ci) then Ir.Task.A else Ir.Task.C
   in
-  (* Components unordered with B default to C above; move those that feed
-     C-resident consumers nowhere — they stay in C, which is safe (serial). *)
-  let nodes_of phase =
-    List.init k Fun.id
-    |> List.filter (fun ci -> phase_of ci = phase)
-    |> List.concat_map (fun ci -> comp_arr.(ci))
-    |> List.sort compare
-  in
   let mk phase =
-    let nodes = nodes_of phase in
+    let comps_in =
+      List.init k Fun.id |> List.filter (fun ci -> phase_of ci = phase)
+    in
+    let nodes =
+      List.concat_map (fun ci -> c.Scc_util.comps.(ci)) comps_in |> List.sort compare
+    in
     let weight =
-      List.fold_left (fun acc n -> acc +. (Ir.Pdg.node pdg n).Ir.Pdg.weight) 0.0 nodes
+      List.fold_left (fun acc ci -> acc +. c.Scc_util.weight.(ci)) 0.0 comps_in
     in
     { phase; nodes; weight; replicated = (phase = Ir.Task.B && nodes <> []) }
   in
@@ -130,7 +79,9 @@ let pipeline_bound t ~threads =
   if total <= 0.0 then 1.0
   else if threads = 1 then 1.0
   else begin
-    let replicas = max 1 (threads - 2) in
+    let replicas =
+      if (stage t Ir.Task.B).replicated then max 1 (threads - 2) else 1
+    in
     let wa = (stage t Ir.Task.A).weight
     and wb = (stage t Ir.Task.B).weight
     and wc = (stage t Ir.Task.C).weight in

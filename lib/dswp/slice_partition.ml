@@ -1,0 +1,86 @@
+let sum_weight (c : Scc_util.t) mask pred =
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun ci w -> if mask.(ci) && pred ci then acc := !acc +. w)
+    c.Scc_util.weight;
+  !acc
+
+let partition pdg ~enabled =
+  let surviving (e : Ir.Pdg.edge) =
+    match e.Ir.Pdg.breaker with None -> true | Some b -> not (enabled b)
+  in
+  let broken = List.filter (fun e -> not (surviving e)) (Ir.Pdg.edges pdg) in
+  let c = Scc_util.condense pdg ~surviving in
+  let k = Scc_util.component_count c in
+  let in_b = Array.init k (fun ci -> c.Scc_util.eligible.(ci)) in
+  (* Evict carried pairs: a surviving loop-carried edge between two B
+     components would be a carried dependence internal to the replicated
+     stage.  Keep the heavier endpoint (lower index on ties).  One pass
+     suffices — eviction only shrinks B, never creates a new pair. *)
+  List.iter
+    (fun (e : Ir.Pdg.edge) ->
+      if surviving e && e.Ir.Pdg.loop_carried then begin
+        let cs = c.Scc_util.comp_of.(e.Ir.Pdg.src)
+        and cd = c.Scc_util.comp_of.(e.Ir.Pdg.dst) in
+        if cs <> cd && in_b.(cs) && in_b.(cd) then begin
+          let ws = c.Scc_util.weight.(cs) and wd = c.Scc_util.weight.(cd) in
+          let drop =
+            if ws < wd then cs
+            else if wd < ws then cd
+            else max cs cd
+          in
+          in_b.(drop) <- false
+        end
+      end)
+    (Ir.Pdg.edges pdg);
+  (* Evict sandwiches to fixpoint: a non-member d both reached from B
+     and reaching B cannot be placed — in A it receives a B->A edge, in
+     C it feeds a C->B edge.  Evict the lighter of the two B sides
+     around d (downstream on ties); each round removes at least one
+     member, so this terminates in at most k rounds. *)
+  let b_members () =
+    List.init k Fun.id |> List.filter (fun ci -> in_b.(ci))
+  in
+  let rec settle () =
+    let members = b_members () in
+    if members <> [] then begin
+      let from_b = Scc_util.multi_reachable c.Scc_util.adj ~from:members in
+      let to_b = Scc_util.multi_reachable c.Scc_util.radj ~from:members in
+      let sandwich = ref None in
+      for ci = k - 1 downto 0 do
+        if (not in_b.(ci)) && from_b.(ci) && to_b.(ci) then sandwich := Some ci
+      done;
+      match !sandwich with
+      | None -> ()
+      | Some d ->
+        let anc_d = Scc_util.reachable c.Scc_util.radj d in
+        let desc_d = Scc_util.reachable c.Scc_util.adj d in
+        let up_w = sum_weight c in_b (fun ci -> anc_d.(ci)) in
+        let down_w = sum_weight c in_b (fun ci -> desc_d.(ci)) in
+        let evict = if up_w < down_w then anc_d else desc_d in
+        Array.iteri (fun ci hit -> if hit then in_b.(ci) <- false) evict;
+        settle ()
+    end
+  in
+  settle ();
+  let members = b_members () in
+  let anc = Scc_util.multi_reachable c.Scc_util.radj ~from:members in
+  let in_a = Array.init k (fun ci -> anc.(ci) && not in_b.(ci)) in
+  let phase_of ci =
+    if in_b.(ci) then Ir.Task.B else if in_a.(ci) then Ir.Task.A else Ir.Task.C
+  in
+  let mk phase =
+    let comps_in =
+      List.init k Fun.id |> List.filter (fun ci -> phase_of ci = phase)
+    in
+    let nodes =
+      List.concat_map (fun ci -> c.Scc_util.comps.(ci)) comps_in
+      |> List.sort compare
+    in
+    let weight =
+      List.fold_left (fun acc ci -> acc +. c.Scc_util.weight.(ci)) 0.0 comps_in
+    in
+    Partition.
+      { phase; nodes; weight; replicated = (phase = Ir.Task.B && nodes <> []) }
+  in
+  Partition.{ stages = [ mk Ir.Task.A; mk Ir.Task.B; mk Ir.Task.C ]; broken }

@@ -1,0 +1,31 @@
+(** Backward-slicing stage extractor — the competing partitioner in the
+    planner tournament (per "Enhancing the performance of Decoupled
+    Software Pipeline through Backward Slicing").
+
+    Where {!Partition} grows stage B greedily from the heaviest eligible
+    SCC and only admits components {e unordered} with every current
+    member, this extractor works top-down from the full parallel slice:
+    start with {e every} parallel-eligible component in B — ordered
+    chains of eligible components are fine inside a replicated stage, an
+    iteration executes its whole slice on one replica — then evict just
+    enough members to restore soundness:
+
+    - a surviving loop-carried edge between two B components would be
+      internal to the replicated stage; the lighter endpoint is evicted;
+    - a non-member component both reached from B and reaching B (a
+      "sandwich") would force a backward inter-stage edge whichever
+      serial stage it lands in; the lighter of the upstream-B /
+      downstream-B sides is evicted wholesale, to fixpoint.
+
+    Stage A is then the ancestors of B and stage C the rest, exactly as
+    in {!Partition}, so the result satisfies the same stage-closure and
+    unbroken-dependence obligations {!Lint.Plan_check} enforces.
+
+    The two partitioners genuinely disagree: on PDGs whose eligible
+    components form a heavy ordered chain, slicing keeps the whole chain
+    in B while DAG-SCC growth keeps only the heaviest link. *)
+
+val partition : Ir.Pdg.t -> enabled:(Ir.Pdg.breaker -> bool) -> Partition.t
+(** Same contract as {!Partition.partition}: [enabled] says which
+    breakers the plan may use; an edge with breaker [b] survives iff
+    [not (enabled b)].  Deterministic for a given PDG and breaker set. *)

@@ -72,31 +72,54 @@ let sccs t ?(consider = fun (_ : edge) -> true) () =
   let stack = ref [] in
   let counter = ref 0 in
   let components = ref [] in
-  let rec strongconnect v =
+  let visit v =
     index.(v) <- !counter;
     lowlink.(v) <- !counter;
     incr counter;
     stack := v :: !stack;
-    on_stack.(v) <- true;
-    List.iter
-      (fun w ->
-        if index.(w) = -1 then begin
-          strongconnect w;
-          lowlink.(v) <- min lowlink.(v) lowlink.(w)
-        end
-        else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w))
-      adj.(v);
+    on_stack.(v) <- true
+  in
+  let emit_component v =
     if lowlink.(v) = index.(v) then begin
-      let rec pop acc =
+      let comp = ref [] in
+      let popping = ref true in
+      while !popping do
         match !stack with
-        | [] -> acc
+        | [] -> popping := false
         | w :: rest ->
           stack := rest;
           on_stack.(w) <- false;
-          if w = v then w :: acc else pop (w :: acc)
-      in
-      components := pop [] :: !components
+          comp := w :: !comp;
+          if w = v then popping := false
+      done;
+      components := !comp :: !components
     end
+  in
+  (* Explicit frame stack of (vertex, remaining successors): recursion
+     depth tracks the longest simple path, which overflows the OCaml
+     stack on the ~100k-node chains the search loop partitions. *)
+  let strongconnect root =
+    visit root;
+    let frames = ref [ (root, ref adj.(root)) ] in
+    while !frames <> [] do
+      match !frames with
+      | [] -> ()
+      | (v, succs) :: rest -> (
+        match !succs with
+        | w :: tl ->
+          succs := tl;
+          if index.(w) = -1 then begin
+            visit w;
+            frames := (w, ref adj.(w)) :: !frames
+          end
+          else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w)
+        | [] ->
+          emit_component v;
+          frames := rest;
+          (match rest with
+          | (parent, _) :: _ -> lowlink.(parent) <- min lowlink.(parent) lowlink.(v)
+          | [] -> ()))
+    done
   in
   for v = 0 to n - 1 do
     if index.(v) = -1 then strongconnect v

@@ -188,5 +188,36 @@ if dune exec bin/repro.exe -- validate-real -b 164.gzip -t 2 -s small \
   exit 1
 fi
 
-echo "check.sh: build + runtest + prop + bench smoke (jobs=1 and jobs=${SCALE_JOBS}, identical stdout) + trace smoke + lint gate + perf gate + scaling gate + validate-real smoke OK (schedules oracle-validated)"
+# Auto-planner gate: the planner tournament must find a plan matching
+# or beating the hand plan on the two anchor benches — `repro plan`'s
+# exit contract enforces winner >= hand (stronger than the 5% margin we
+# require) and oracle-clean simulated runs, exiting 1 otherwise — and
+# its ranked table must be byte-identical at jobs=1 and jobs=4: the
+# branch-and-bound incumbent only advances at wave boundaries, so the
+# ranking cannot depend on how a wave shards across domains.
+plan_j1="$(mktemp -t plan_j1.XXXXXX.txt)"
+plan_j4="$(mktemp -t plan_j4.XXXXXX.txt)"
+for b in 164.gzip 181.mcf; do
+  dune exec bin/repro.exe -- plan -b "$b" --jobs 1 > "$plan_j1"
+  dune exec bin/repro.exe -- plan -b "$b" --jobs 4 > "$plan_j4"
+  if ! diff -q "$plan_j1" "$plan_j4" > /dev/null; then
+    echo "check.sh: repro plan on $b differs between jobs=1 and jobs=4:" >&2
+    diff "$plan_j1" "$plan_j4" >&2 || true
+    exit 1
+  fi
+done
+rm -f "$plan_j1" "$plan_j4"
+
+# Planner self-test: with a corrupted candidate generator every non-seed
+# partition is structurally unsound (a serial stage merged into the
+# replicated stage); the lint pruner must reject them all before any
+# scoring, visible as a non-zero lint-pruned count on stdout.
+plan_corrupt="$(dune exec bin/repro.exe -- plan -b 164.gzip --corrupt-candidates --jobs 2)"
+if ! grep -qE 'lint-pruned [1-9]' <<< "$plan_corrupt"; then
+  echo "check.sh: corrupted candidate generator was not caught by the lint pruner:" >&2
+  echo "$plan_corrupt" >&2
+  exit 1
+fi
+
+echo "check.sh: build + runtest + prop + bench smoke (jobs=1 and jobs=${SCALE_JOBS}, identical stdout) + trace smoke + lint gate + perf gate + scaling gate + validate-real smoke + auto-planner gate OK (schedules oracle-validated)"
 echo "perf record: BENCH_pipeline.json, BENCH_summary.json, BENCH_summary.csv, BENCH_history.jsonl"
