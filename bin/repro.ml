@@ -148,11 +148,19 @@ let run_cmd =
              $ verbose_arg))
 
 let explain_cmd =
-  let run name scale threads =
+  let json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Also write the attribution records as JSON to $(docv): an array \
+                   with one object per parallelized loop (study, loop, stall \
+                   taxonomy, critical path, bounds, diagnosis).")
+  in
+  let run name scale threads json =
     with_study name (fun study ->
       let profile = study.Benchmarks.Study.run ~scale in
       let built = Core.Framework.build ~plan:study.Benchmarks.Study.plan profile in
       let cfg = Machine.Config.default ~cores:threads in
+      let blocks = ref [] in
       List.iter
         (function
           | Sim.Input.Serial _ -> ()
@@ -163,15 +171,37 @@ let explain_cmd =
                invariants (stall tiling, path length = span). *)
             if !Sim.Pipeline.validate_default then Obs_analysis.Attribution.validate_exn a;
             Obs_analysis.Explain.report Format.std_formatter a;
-            Format.printf "@.")
+            Format.printf "@.";
+            if json <> None then begin
+              let block =
+                match Obs_analysis.Attribution.to_json a with
+                | Obs.Json.Obj fields ->
+                  Obs.Json.Obj
+                    (("study", Obs.Json.Str study.Benchmarks.Study.spec_name)
+                     :: fields
+                    @ [ ("diagnosis",
+                         Obs.Json.Str (Obs_analysis.Explain.diagnose a)) ])
+                | j -> j
+              in
+              blocks := block :: !blocks
+            end)
         built.Core.Framework.input.Sim.Input.segments;
+      (match json with
+      | None -> ()
+      | Some file ->
+        Out_channel.with_open_bin file (fun oc ->
+            Out_channel.output_string oc
+              (Obs.Json.to_string (Obs.Json.Arr (List.rev !blocks))));
+        Format.eprintf "explain: %d attribution records written to %s@."
+          (List.length !blocks) file);
       Ok ())
   in
   Cmd.v
     (Cmd.info "explain"
        ~doc:"Attribute a benchmark's span: per-core stall taxonomy, critical path by \
-             phase and edge kind, analytic bounds and headroom, one-line diagnosis.")
-    Term.(term_result (const run $ bench_arg $ scale_arg $ threads_arg))
+             phase and edge kind, analytic bounds and headroom, one-line diagnosis. \
+             $(b,--json) additionally emits the machine-readable records.")
+    Term.(term_result (const run $ bench_arg $ scale_arg $ threads_arg $ json_arg))
 
 let table1_cmd =
   let run () = Core.Report.table1 Format.std_formatter Benchmarks.Registry.all in
@@ -423,11 +453,44 @@ let plan_cmd =
                    exits 0 iff the reported lint-pruned count is positive; used by \
                    scripts/check.sh to prove the pruning path fires.")
   in
-  let run name beam budget threads jobs corrupt =
+  let calibrate_arg =
+    Arg.(value & opt (some string) None
+         & info [ "calibrate" ] ~docv:"FILE|auto"
+             ~doc:"Score candidates through a trace-calibrated cost model instead \
+                   of the synthetic stage weights. $(b,auto) profiles the benchmark \
+                   at --scale and fits the calibration from its trace; anything \
+                   else is read as a calibration JSON file (as written by \
+                   $(b,repro profile-real --dump) or $(b,Sim.Calibrate.to_json)). \
+                   Prints the calibration and its predicted-vs-trace error block \
+                   before the ranked table. An unreadable or invalid calibration \
+                   file exits 1.")
+  in
+  let run name beam budget threads jobs corrupt calibrate scale =
     with_study name (fun study ->
+      let calibration =
+        match calibrate with
+        | None -> None
+        | Some spec ->
+          let rep =
+            if spec = "auto" then Core.Plan_search.calibration_report ~scale study
+            else
+              match Sim.Calibrate.load spec with
+              | Error e -> Error (spec ^ ": " ^ e)
+              | Ok c ->
+                Core.Plan_search.calibration_report ~scale ~calibration:c study
+          in
+          (match rep with
+          | Error e ->
+            Format.eprintf "calibration: %s@." e;
+            exit 1
+          | Ok rep ->
+            Core.Plan_search.pp_cal_report Format.std_formatter rep;
+            Some rep.Core.Plan_search.cr_cal)
+      in
       with_pool jobs (fun pool ->
           let report =
-            Core.Plan_search.run ~pool ~beam ~budget ~threads ~corrupt study
+            Core.Plan_search.run ~pool ~beam ~budget ~threads ~corrupt
+              ?calibration study
           in
           Core.Plan_search.pp Format.std_formatter report;
           (* Documented contract (cmdliner reserves its own codes, so exit
@@ -458,10 +521,85 @@ let plan_cmd =
              analytic bounds, simulate survivors across a worker pool, and \
              validate every simulated schedule with the oracle. Prints a ranked \
              table; exits 0 when the winning plan is oracle-valid and matches or \
-             beats the hand plan, 1 otherwise.")
+             beats the hand plan, 1 otherwise (including an unreadable or invalid \
+             $(b,--calibrate) file).")
     Term.(term_result
             (const run $ bench_arg $ beam_arg $ budget_arg $ plan_threads_arg
-             $ jobs_arg $ corrupt_arg))
+             $ jobs_arg $ corrupt_arg $ calibrate_arg $ scale_arg))
+
+let profile_real_cmd =
+  let threads_arg =
+    Arg.(value & opt int 4
+         & info [ "t"; "threads" ] ~docv:"N"
+             ~doc:"Domain count for the probed run (at least 2: the sequential \
+                   path has no roles to probe).")
+  in
+  let dump_arg =
+    Arg.(value & opt (some string) None
+         & info [ "dump" ] ~docv:"FILE"
+             ~doc:"Write the probe dump JSON — per-role latency histograms and \
+                   queue stats — to $(docv). $(b,Sim.Calibrate) fits a \
+                   microsecond-unit calibration from this record.")
+  in
+  let run name threads scale trace dump =
+    with_study name (fun study ->
+      if threads < 2 then Error (`Msg "profile-real needs --threads >= 2")
+      else begin
+        let bname = study.Benchmarks.Study.spec_name in
+        (* Staged pipelines may carry run-once state, so the sequential
+           reference and the probed run each get a fresh instance. *)
+        let seq = Runtime.Staged.run_seq (Runtime.Real_bench.staged ~scale bname) in
+        let want_trace = trace_file trace in
+        let r =
+          Runtime.Exec.run ~threads ~name:bname ~probe:true
+            ~events:(want_trace <> None)
+            (Runtime.Real_bench.staged ~scale bname)
+        in
+        let st = r.Runtime.Exec.stats in
+        Format.printf "profile-real: %s at %d domains (%d B replicas), %.3fs, %d squashes@."
+          bname st.Runtime.Exec.threads st.Runtime.Exec.replicas
+          st.Runtime.Exec.seconds st.Runtime.Exec.squashes;
+        (match r.Runtime.Exec.telemetry with
+        | None -> Format.printf "no telemetry (sequential run)@."
+        | Some tl ->
+          Format.printf "@[<v>%a@]@." (Runtime.Exec.pp_telemetry st) tl;
+          match dump with
+          | None -> ()
+          | Some file ->
+            Out_channel.with_open_bin file (fun oc ->
+                Out_channel.output_string oc
+                  (Obs.Json.to_string
+                     (Runtime.Exec.telemetry_to_json ~name:bname st tl)));
+            Format.eprintf "probe dump written to %s@." file);
+        (match want_trace with
+        | None -> ()
+        | Some file ->
+          Obs.Trace_event.write_file ~process_name:("profile-real " ^ bname) file
+            r.Runtime.Exec.events;
+          Format.eprintf "trace: %d real events written to %s@."
+            (List.length r.Runtime.Exec.events) file);
+        (* Documented contract: 0 = probed output byte-identical to the
+           sequential reference, 1 = mismatch (cmdliner reserves its own
+           codes, so exit explicitly). *)
+        if r.Runtime.Exec.output <> seq then begin
+          Format.eprintf "profile-real: OUTPUT MISMATCH vs sequential reference@.";
+          exit 1
+        end;
+        Ok ()
+      end)
+  in
+  Cmd.v
+    (Cmd.info "profile-real"
+       ~doc:"Run one benchmark on real domains with telemetry probes enabled: \
+             per-role dispatch/run/commit latency histograms, queue stall and \
+             occupancy high-water stats, squash and validation costs. \
+             $(b,--trace) writes a Chrome trace of the real event stream (with \
+             SPSC queue-occupancy counter tracks); $(b,--dump) writes the probe \
+             dump JSON that $(b,repro plan --calibrate) accepts. Exits 0 when the \
+             probed output is byte-identical to the sequential reference, 1 \
+             otherwise.")
+    Term.(term_result
+            (const run $ bench_arg $ threads_arg $ scale_arg $ trace_arg $ dump_arg))
 
 let validate_real_cmd =
   let bench_opt_arg =
@@ -528,5 +666,5 @@ let () =
           [
             list_cmd; run_cmd; explain_cmd; lint_cmd; plan_cmd; table1_cmd; table2_cmd;
             figure_cmd; ablate_cmd; gantt_cmd; chart_cmd; auto_cmd; multistage_cmd;
-            validate_real_cmd;
+            profile_real_cmd; validate_real_cmd;
           ]))

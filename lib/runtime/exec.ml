@@ -17,13 +17,46 @@ type stats = {
   roles : role_stats array;
 }
 
+type queue_stat = {
+  qs_queue : Obs.Event.queue;
+  qs_slot : int;
+  qs_capacity : int;
+  qs_high_water : int;
+  qs_pushes : int;
+}
+
+type role_probe = {
+  rp_role : string;
+  rp_stage : Obs.Hist.t;
+  rp_push_stall : Obs.Hist.t;
+  rp_pop_stall : Obs.Hist.t;
+  rp_squash : Obs.Hist.t;
+  rp_validate : Obs.Hist.t;
+}
+
+type telemetry = {
+  tl_roles : role_probe array;
+  tl_queues : queue_stat list;
+  tl_dropped : int;
+}
+
 type result = {
   output : string;
   stats : stats;
   events : Obs.Event.t list;
+  telemetry : telemetry option;
 }
 
 let now = Unix.gettimeofday
+
+(* Probe record kinds: [a] is always a duration in microseconds, [b]
+   an iteration or queue slot.  Timestamps are microseconds since the
+   run's own origin, matching the event stream's clock. *)
+let k_stage = 0
+let k_push_stall = 1
+let k_pop_stall = 2
+let k_squash = 3
+let k_validate = 4
 
 (* Per-role accounting; each role mutates only its own record, so no
    synchronization is needed (the records are read after the batch
@@ -34,16 +67,29 @@ type acct = {
   mutable starved : float;
   mutable blocked : float;
   mutable evs : Obs.Event.t list;  (* newest first *)
+  prb : Obs.Probe.t option;  (* written only by the owning role *)
 }
 
-let make_acct () = { items = 0; busy = 0.; starved = 0.; blocked = 0.; evs = [] }
+let make_acct ~prb () =
+  { items = 0; busy = 0.; starved = 0.; blocked = 0.; evs = []; prb }
 
 (* Same bounded spin-then-sleep policy as {!Spsc.push}: on an
    oversubscribed machine a spinning role must yield its timeslice to
    whichever role can make progress. *)
 let backoff k = if k < 512 then Domain.cpu_relax () else Unix.sleepf 5e-5
 
-let pop_acct q acct =
+(* Stall durations are recorded only on the slow path (the ring looked
+   empty/full at least once), so the probe costs nothing on a smooth
+   pipeline. *)
+let stall_probe acct ~us ~kind ~slot t0 =
+  match acct.prb with
+  | None -> ()
+  | Some p ->
+    Obs.Probe.record p ~kind ~time:(us ())
+      ~a:(int_of_float ((now () -. t0) *. 1e6))
+      ~b:slot
+
+let pop_acct ~us ~slot q acct =
   match Spsc.try_pop q with
   | `Item x -> Some x
   | `Closed -> None
@@ -53,9 +99,11 @@ let pop_acct q acct =
       match Spsc.try_pop q with
       | `Item x ->
         acct.starved <- acct.starved +. (now () -. t0);
+        stall_probe acct ~us ~kind:k_pop_stall ~slot t0;
         Some x
       | `Closed ->
         acct.starved <- acct.starved +. (now () -. t0);
+        stall_probe acct ~us ~kind:k_pop_stall ~slot t0;
         None
       | `Empty ->
         backoff k;
@@ -63,11 +111,14 @@ let pop_acct q acct =
     in
     spin 0
 
-let push_acct q acct x =
+let push_acct ~us ~slot q acct x =
   if not (Spsc.try_push q x) then begin
     let t0 = now () in
     let rec spin k =
-      if Spsc.try_push q x then acct.blocked <- acct.blocked +. (now () -. t0)
+      if Spsc.try_push q x then begin
+        acct.blocked <- acct.blocked +. (now () -. t0);
+        stall_probe acct ~us ~kind:k_push_stall ~slot t0
+      end
       else begin
         backoff k;
         spin (k + 1)
@@ -91,16 +142,23 @@ let seq_result staged =
         roles = [||];
       };
     events = [];
+    telemetry = None;
   }
 
-let run ?pool ?(queue_capacity = 64) ?(events = false) ?span_registry ~threads ~name staged
-    =
+let run ?pool ?(queue_capacity = 64) ?(events = false) ?(probe = false)
+    ?span_registry ~threads ~name staged =
   let go d p =
       begin
         let fused = d = 2 in
         let r = if fused then 1 else d - 2 in
         let n = Staged.iterations staged in
-        let accts = Array.init (r + 2) (fun _ -> make_acct ()) in
+        let accts =
+          Array.init (r + 2) (fun k ->
+              let prb =
+                if probe then Some (Obs.Probe.create ~domain:k ()) else None
+              in
+              make_acct ~prb ())
+        in
         let t0 = ref (now ()) in
         let us () = int_of_float ((now () -. !t0) *. 1e6) in
         let buf = Buffer.create 4096 in
@@ -123,25 +181,56 @@ let run ?pool ?(queue_capacity = 64) ?(events = false) ?span_registry ~threads ~
           ev acct (Obs.Event.Task_start { time = us (); task; core; phase; iteration; work = 0 });
           let tb = now () in
           let v = body () in
-          acct.busy <- acct.busy +. (now () -. tb);
+          let t1 = now () in
+          acct.busy <- acct.busy +. (t1 -. tb);
           acct.items <- acct.items + 1;
+          (match acct.prb with
+          | None -> ()
+          | Some p ->
+            Obs.Probe.record p ~kind:k_stage ~time:(us ())
+              ~a:(int_of_float ((t1 -. tb) *. 1e6))
+              ~b:iteration);
           ev acct (Obs.Event.Task_finish { time = us (); task; core });
           v
         in
-        let new_queues k =
-          let qs = Array.init k (fun _ -> Spsc.create ~capacity:queue_capacity ()) in
+        (* Queue stats are harvested through closures because each
+           Staged case builds queues at its own element type. *)
+        let queue_stats : (unit -> queue_stat) list ref = ref [] in
+        let new_queues qkind k =
+          let qs =
+            Array.init k (fun _ ->
+                Spsc.create ~capacity:queue_capacity ~instrument:probe ())
+          in
           poison_hooks := (fun () -> Array.iter Spsc.poison qs) :: !poison_hooks;
+          if probe then
+            Array.iteri
+              (fun slot q ->
+                queue_stats :=
+                  (fun () ->
+                    {
+                      qs_queue = qkind;
+                      qs_slot = slot;
+                      qs_capacity = Spsc.capacity q;
+                      qs_high_water = Spsc.high_water q;
+                      qs_pushes = Spsc.push_count q;
+                    })
+                  :: !queue_stats)
+              qs;
           qs
         in
         let push_ev acct queue slot q task =
           ev acct
             (Obs.Event.Queue_push { time = us (); queue; slot; occupancy = Spsc.length q; task })
         in
+        let pop_ev acct queue slot q task =
+          ev acct
+            (Obs.Event.Queue_pop { time = us (); queue; slot; occupancy = Spsc.length q; task })
+        in
         let roles =
           match staged with
           | Staged.Pure s ->
-            let a2b = new_queues r in
-            let b2c = if fused then [||] else new_queues r in
+            let a2b = new_queues Obs.Event.In_queue r in
+            let b2c = if fused then [||] else new_queues Obs.Event.Out_queue r in
             let role_a () =
               let acct = accts.(0) in
               for i = 0 to n - 1 do
@@ -149,7 +238,7 @@ let run ?pool ?(queue_capacity = 64) ?(events = false) ?span_registry ~threads ~
                   task_span acct ~task:(3 * i) ~core:0 ~phase:'A' ~iteration:i (fun () ->
                       s.Staged.produce i)
                 in
-                push_acct a2b.(i mod r) acct (i, item);
+                push_acct ~us ~slot:(i mod r) a2b.(i mod r) acct (i, item);
                 push_ev acct Obs.Event.In_queue (i mod r) a2b.(i mod r) (3 * i)
               done;
               Array.iter Spsc.close a2b
@@ -166,11 +255,12 @@ let run ?pool ?(queue_capacity = 64) ?(events = false) ?span_registry ~threads ~
             let role_b k () =
               let acct = accts.(k + 1) in
               let rec loop () =
-                match pop_acct a2b.(k) acct with
+                match pop_acct ~us ~slot:k a2b.(k) acct with
                 | None -> Spsc.close b2c.(k)
                 | Some (i, item) ->
+                  pop_ev acct Obs.Event.In_queue k a2b.(k) (3 * i);
                   let res = transform acct k i item in
-                  push_acct b2c.(k) acct (i, res);
+                  push_acct ~us ~slot:k b2c.(k) acct (i, res);
                   push_ev acct Obs.Event.Out_queue k b2c.(k) ((3 * i) + 1);
                   loop ()
               in
@@ -179,10 +269,11 @@ let run ?pool ?(queue_capacity = 64) ?(events = false) ?span_registry ~threads ~
             let role_c () =
               let acct = accts.(r + 1) in
               for i = 0 to n - 1 do
-                match pop_acct b2c.(i mod r) acct with
+                match pop_acct ~us ~slot:(i mod r) b2c.(i mod r) acct with
                 | None -> failwith "Runtime.Exec: result stream ended early"
                 | Some (j, res) ->
                   if j <> i then failwith "Runtime.Exec: out-of-order result";
+                  pop_ev acct Obs.Event.Out_queue (i mod r) b2c.(i mod r) ((3 * i) + 1);
                   consume acct i res
               done;
               s.Staged.finish buf
@@ -190,12 +281,13 @@ let run ?pool ?(queue_capacity = 64) ?(events = false) ?span_registry ~threads ~
             let role_bc () =
               let acct_b = accts.(1) and acct_c = accts.(2) in
               let rec loop i =
-                match pop_acct a2b.(0) acct_b with
+                match pop_acct ~us ~slot:0 a2b.(0) acct_b with
                 | None ->
                   if i <> n then failwith "Runtime.Exec: item stream ended early";
                   s.Staged.finish buf
                 | Some (j, item) ->
                   if j <> i then failwith "Runtime.Exec: out-of-order item";
+                  pop_ev acct_b Obs.Event.In_queue 0 a2b.(0) (3 * i);
                   let res = transform acct_b 0 i item in
                   consume acct_c i res;
                   loop (i + 1)
@@ -205,8 +297,8 @@ let run ?pool ?(queue_capacity = 64) ?(events = false) ?span_registry ~threads ~
             if fused then [| role_a; role_bc |]
             else Array.concat [ [| role_a |]; Array.init r role_b; [| role_c |] ]
           | Staged.Spec s ->
-            let a2b = new_queues r in
-            let b2c = if fused then [||] else new_queues r in
+            let a2b = new_queues Obs.Event.In_queue r in
+            let b2c = if fused then [||] else new_queues Obs.Event.Out_queue r in
             let vm = VM.create () in
             let vml = Mutex.create () in
             List.iter (fun (loc, v) -> VM.set_committed vm ~loc v) s.Staged.sp_init;
@@ -234,7 +326,7 @@ let run ?pool ?(queue_capacity = 64) ?(events = false) ?span_registry ~threads ~
                    replica's speculative reads can forward from every
                    earlier in-flight iteration. *)
                 locked (fun () -> VM.begin_task vm ~task:i);
-                push_acct a2b.(i mod r) acct (i, item);
+                push_acct ~us ~slot:(i mod r) a2b.(i mod r) acct (i, item);
                 push_ev acct Obs.Event.In_queue (i mod r) a2b.(i mod r) (3 * i)
               done;
               Array.iter Spsc.close a2b
@@ -264,9 +356,16 @@ let run ?pool ?(queue_capacity = 64) ?(events = false) ?span_registry ~threads ~
                stale buffered writes (re-writing the committed value is
                a silent store), and only then commit. *)
             let commit_one acct i item (reads, writes, res) =
+              let tv = if acct.prb == None then 0. else now () in
               let stale =
                 locked (fun () -> List.exists (fun (loc, obs) -> committed loc <> obs) reads)
               in
+              (match acct.prb with
+              | None -> ()
+              | Some p ->
+                Obs.Probe.record p ~kind:k_validate ~time:(us ())
+                  ~a:(int_of_float ((now () -. tv) *. 1e6))
+                  ~b:i);
               let writes, res =
                 if not stale then (writes, res)
                 else begin
@@ -277,7 +376,14 @@ let run ?pool ?(queue_capacity = 64) ?(events = false) ?span_registry ~threads ~
                   let read loc = locked (fun () -> committed loc) in
                   let tb = now () in
                   let writes', res' = s.Staged.sp_exec ~read item in
-                  acct.busy <- acct.busy +. (now () -. tb);
+                  let t1 = now () in
+                  acct.busy <- acct.busy +. (t1 -. tb);
+                  (match acct.prb with
+                  | None -> ()
+                  | Some p ->
+                    Obs.Probe.record p ~kind:k_squash ~time:(us ())
+                      ~a:(int_of_float ((t1 -. tb) *. 1e6))
+                      ~b:i);
                   locked (fun () ->
                       List.iter
                         (fun (loc, _) ->
@@ -300,11 +406,12 @@ let run ?pool ?(queue_capacity = 64) ?(events = false) ?span_registry ~threads ~
             let role_b k () =
               let acct = accts.(k + 1) in
               let rec loop () =
-                match pop_acct a2b.(k) acct with
+                match pop_acct ~us ~slot:k a2b.(k) acct with
                 | None -> Spsc.close b2c.(k)
                 | Some (i, item) ->
+                  pop_ev acct Obs.Event.In_queue k a2b.(k) (3 * i);
                   let payload = exec_spec acct k i item in
-                  push_acct b2c.(k) acct (i, item, payload);
+                  push_acct ~us ~slot:k b2c.(k) acct (i, item, payload);
                   push_ev acct Obs.Event.Out_queue k b2c.(k) ((3 * i) + 1);
                   loop ()
               in
@@ -313,10 +420,11 @@ let run ?pool ?(queue_capacity = 64) ?(events = false) ?span_registry ~threads ~
             let role_c () =
               let acct = accts.(r + 1) in
               for i = 0 to n - 1 do
-                match pop_acct b2c.(i mod r) acct with
+                match pop_acct ~us ~slot:(i mod r) b2c.(i mod r) acct with
                 | None -> failwith "Runtime.Exec: result stream ended early"
                 | Some (j, item, payload) ->
                   if j <> i then failwith "Runtime.Exec: out-of-order result";
+                  pop_ev acct Obs.Event.Out_queue (i mod r) b2c.(i mod r) ((3 * i) + 1);
                   commit_one acct i item payload
               done;
               s.Staged.sp_finish ~read:(fun loc -> locked (fun () -> committed loc)) buf
@@ -324,12 +432,13 @@ let run ?pool ?(queue_capacity = 64) ?(events = false) ?span_registry ~threads ~
             let role_bc () =
               let acct_b = accts.(1) and acct_c = accts.(2) in
               let rec loop i =
-                match pop_acct a2b.(0) acct_b with
+                match pop_acct ~us ~slot:0 a2b.(0) acct_b with
                 | None ->
                   if i <> n then failwith "Runtime.Exec: item stream ended early";
                   s.Staged.sp_finish ~read:(fun loc -> locked (fun () -> committed loc)) buf
                 | Some (j, item) ->
                   if j <> i then failwith "Runtime.Exec: out-of-order item";
+                  pop_ev acct_b Obs.Event.In_queue 0 a2b.(0) (3 * i);
                   let payload = exec_spec acct_b 0 i item in
                   commit_one acct_c i item payload;
                   loop (i + 1)
@@ -366,6 +475,50 @@ let run ?pool ?(queue_capacity = 64) ?(events = false) ?span_registry ~threads ~
           Array.iter
             (fun rs -> Obs.Span.record reg (Printf.sprintf "real/%s/%s" name rs.rs_role) rs.rs_busy)
             role_rows);
+        let telemetry =
+          if not probe then None
+          else begin
+            let role_probe k (a : acct) =
+              let rp =
+                {
+                  rp_role = role_name k;
+                  rp_stage = Obs.Hist.create ();
+                  rp_push_stall = Obs.Hist.create ();
+                  rp_pop_stall = Obs.Hist.create ();
+                  rp_squash = Obs.Hist.create ();
+                  rp_validate = Obs.Hist.create ();
+                }
+              in
+              (match a.prb with
+              | None -> ()
+              | Some p ->
+                List.iter
+                  (fun (e : Obs.Probe.entry) ->
+                    let h =
+                      if e.e_kind = k_stage then rp.rp_stage
+                      else if e.e_kind = k_push_stall then rp.rp_push_stall
+                      else if e.e_kind = k_pop_stall then rp.rp_pop_stall
+                      else if e.e_kind = k_squash then rp.rp_squash
+                      else rp.rp_validate
+                    in
+                    Obs.Hist.add h e.e_a)
+                  (Obs.Probe.entries p));
+              rp
+            in
+            let dropped =
+              Array.fold_left
+                (fun acc (a : acct) ->
+                  match a.prb with Some p -> acc + Obs.Probe.dropped p | None -> acc)
+                0 accts
+            in
+            Some
+              {
+                tl_roles = Array.mapi role_probe accts;
+                tl_queues = List.rev_map (fun f -> f ()) !queue_stats;
+                tl_dropped = dropped;
+              }
+          end
+        in
         let merged_events =
           if not events then []
           else begin
@@ -392,6 +545,7 @@ let run ?pool ?(queue_capacity = 64) ?(events = false) ?span_registry ~threads ~
               roles = role_rows;
             };
           events = merged_events;
+          telemetry;
         }
       end
   in
@@ -405,3 +559,77 @@ let run ?pool ?(queue_capacity = 64) ?(events = false) ?span_registry ~threads ~
       (* One pool slot per role: A + C + the B replicas (fused B+C at
          two domains), so the role count equals [threads]. *)
       Parallel.Pool.with_pool ~domains:threads (fun p -> go threads p)
+
+let queue_stat_name qs =
+  Printf.sprintf "%s-queue %d" (Obs.Event.queue_name qs.qs_queue) qs.qs_slot
+
+let pp_telemetry stats ppf tl =
+  Format.fprintf ppf "telemetry: %d roles, %d queues, %d probe records dropped@,"
+    (Array.length tl.tl_roles)
+    (List.length tl.tl_queues)
+    tl.tl_dropped;
+  Array.iteri
+    (fun k rp ->
+      let rs = stats.roles.(k) in
+      Format.fprintf ppf "  role %-3s items=%d busy=%.4fs@," rp.rp_role rs.rs_items
+        rs.rs_busy;
+      let line label h =
+        if Obs.Hist.count h > 0 then
+          Format.fprintf ppf "    %-11s %a@," label Obs.Hist.pp h
+      in
+      line "stage-us" rp.rp_stage;
+      line "pop-stall" rp.rp_pop_stall;
+      line "push-stall" rp.rp_push_stall;
+      line "validate" rp.rp_validate;
+      line "squash" rp.rp_squash)
+    tl.tl_roles;
+  List.iter
+    (fun qs ->
+      Format.fprintf ppf "  %-12s capacity=%d high-water=%d pushes=%d@,"
+        (queue_stat_name qs) qs.qs_capacity qs.qs_high_water qs.qs_pushes)
+    tl.tl_queues
+
+(* The probe-dump interchange format [Sim.Calibrate.of_probe_json]
+   consumes; latencies are microseconds. *)
+let telemetry_to_json ~name stats tl =
+  let iterations =
+    if Array.length stats.roles = 0 then 0
+    else stats.roles.(Array.length stats.roles - 1).rs_items
+  in
+  let role k rp =
+    let rs = stats.roles.(k) in
+    Obs.Json.Obj
+      [
+        ("role", Obs.Json.Str rp.rp_role);
+        ("items", Obs.Json.Int rs.rs_items);
+        ("busy_s", Obs.Json.Float rs.rs_busy);
+        ("stage", Obs.Hist.to_json rp.rp_stage);
+        ("pop_stall", Obs.Hist.to_json rp.rp_pop_stall);
+        ("push_stall", Obs.Hist.to_json rp.rp_push_stall);
+        ("validate", Obs.Hist.to_json rp.rp_validate);
+        ("squash", Obs.Hist.to_json rp.rp_squash);
+      ]
+  in
+  let queue qs =
+    Obs.Json.Obj
+      [
+        ("queue", Obs.Json.Str (Obs.Event.queue_name qs.qs_queue));
+        ("slot", Obs.Json.Int qs.qs_slot);
+        ("capacity", Obs.Json.Int qs.qs_capacity);
+        ("high_water", Obs.Json.Int qs.qs_high_water);
+        ("pushes", Obs.Json.Int qs.qs_pushes);
+      ]
+  in
+  Obs.Json.Obj
+    [
+      ("probe_dump", Obs.Json.Int 1);
+      ("bench", Obs.Json.Str name);
+      ("threads", Obs.Json.Int stats.threads);
+      ("replicas", Obs.Json.Int stats.replicas);
+      ("iterations", Obs.Json.Int iterations);
+      ("seconds", Obs.Json.Float stats.seconds);
+      ("squashes", Obs.Json.Int stats.squashes);
+      ("dropped", Obs.Json.Int tl.tl_dropped);
+      ("roles", Obs.Json.Arr (Array.to_list (Array.mapi role tl.tl_roles)));
+      ("queues", Obs.Json.Arr (List.map queue tl.tl_queues));
+    ]

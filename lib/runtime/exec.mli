@@ -44,6 +44,33 @@ type stats = {
   roles : role_stats array;  (** A, B replicas, C — in that order *)
 }
 
+(** Post-run snapshot of one instrumented SPSC ring. *)
+type queue_stat = {
+  qs_queue : Obs.Event.queue;
+  qs_slot : int;
+  qs_capacity : int;
+  qs_high_water : int;  (** occupancy high-water over the whole run *)
+  qs_pushes : int;
+}
+
+(** Latency histograms drained from one role's {!Obs.Probe} ring.  All
+    samples are durations in microseconds. *)
+type role_probe = {
+  rp_role : string;  (** "A", "B0".."Bn", "C" *)
+  rp_stage : Obs.Hist.t;
+      (** stage-body latency: dispatch (A) / run (B) / commit (C) *)
+  rp_push_stall : Obs.Hist.t;  (** time blocked pushing a full ring *)
+  rp_pop_stall : Obs.Hist.t;  (** time blocked popping an empty ring *)
+  rp_squash : Obs.Hist.t;  (** re-execution cost after a stale read *)
+  rp_validate : Obs.Hist.t;  (** versioned-memory commit validation *)
+}
+
+type telemetry = {
+  tl_roles : role_probe array;  (** parallel to [stats.roles] *)
+  tl_queues : queue_stat list;  (** in-queues then out-queues, by slot *)
+  tl_dropped : int;  (** probe records lost to ring wrap *)
+}
+
 type result = {
   output : string;  (** observable output; must equal [Staged.run_seq] *)
   stats : stats;
@@ -51,12 +78,16 @@ type result = {
       (** real-execution event stream (timestamps in microseconds since
           the run started), merged across roles in time order; empty
           unless [~events:true] *)
+  telemetry : telemetry option;
+      (** probe aggregates; present iff [~probe:true] and the run was
+          actually parallel (the sequential path has no roles) *)
 }
 
 val run :
   ?pool:Parallel.Pool.t ->
   ?queue_capacity:int ->
   ?events:bool ->
+  ?probe:bool ->
   ?span_registry:Obs.Span.t ->
   threads:int ->
   name:string ->
@@ -68,7 +99,23 @@ val run :
     dedicated pool of exactly the role count is created and shut down.
     [?queue_capacity] sizes each SPSC ring (default 64 entries, the
     paper's 32-entry queues doubled to amortize cursor traffic).
+    [?probe] (default off) gives every role a private {!Obs.Probe} ring
+    and instruments the SPSC queues: stage-body / stall / squash /
+    validation latencies and queue high-water marks land in
+    {!result.telemetry} after the roles join.  Probing never touches
+    the output bytes — it only reads clocks and writes preallocated
+    rings — so output stays byte-identical to a probe-off run.
     [?span_registry] receives per-role busy/starved/blocked aggregates
     under ["real/<name>/<role>"].  If a stage body raises, all queues
     are poisoned, every role unwinds, and the first exception is
     re-raised on the caller. *)
+
+val pp_telemetry : stats -> Format.formatter -> telemetry -> unit
+(** Per-role latency histograms and per-queue high-water table
+    (the [repro profile-real] report body). *)
+
+val telemetry_to_json : name:string -> stats -> telemetry -> Obs.Json.t
+(** The probe-dump interchange record ([{"probe_dump": 1, ...}]) that
+    [Sim.Calibrate.of_probe_json] fits a calibration from.  Latencies
+    are microseconds; [iterations] is the committing role's item
+    count. *)

@@ -114,14 +114,31 @@ let run ?benches ?(max_threads = 4) ?(scale = Study.Small) ?history ?trace
   (match trace with
   | None -> ()
   | Some file ->
-    (* One instrumented re-run for the event stream; kept out of the
-       measured passes so tracing cannot perturb the numbers above. *)
+    (* Instrumented re-runs for the event streams; kept out of the
+       measured passes so tracing cannot perturb the numbers above.
+       One trace per parallel sweep point: "out.json" -> "out-tN.json"
+       (the sequential point has no roles, hence no events). *)
     let name = (find (List.hd benches)).Study.spec_name in
-    let r =
-      Exec.run ~threads:max_threads ~name ~events:true (Real_bench.staged ~scale name)
+    let point_file t =
+      match Filename.chop_suffix_opt ~suffix:".json" file with
+      | Some base -> Printf.sprintf "%s-t%d.json" base t
+      | None -> Printf.sprintf "%s-t%d" file t
     in
-    Obs.Trace_event.write_file ~process_name:("validate-real " ^ name) file r.Exec.events;
-    Printf.printf "\ntrace: %d real events written to %s\n" (List.length r.Exec.events) file);
+    Printf.printf "\n";
+    List.iter
+      (fun t ->
+        if t > 1 then begin
+          let r =
+            Exec.run ~threads:t ~name ~events:true (Real_bench.staged ~scale name)
+          in
+          let pf = point_file t in
+          Obs.Trace_event.write_file
+            ~process_name:(Printf.sprintf "validate-real %s t%d" name t)
+            pf r.Exec.events;
+          Printf.printf "trace: %d real events written to %s\n"
+            (List.length r.Exec.events) pf
+        end)
+      threads);
   (match history with
   | None -> ()
   | Some path ->

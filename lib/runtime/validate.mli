@@ -11,8 +11,12 @@
     With [history] set, one {!Obs_analysis.History} entry is appended
     whose [real] block holds every measured point; the regression and
     scaling gates skip such entries.  With [trace] set, the first
-    benchmark is re-run instrumented at [max_threads] and its real
-    event stream written as a Chrome trace.
+    benchmark is re-run instrumented once per {e parallel} sweep point
+    (2..[max_threads] threads) and each run's event stream written as
+    its own Chrome trace: for [--trace out.json] the files are
+    [out-t2.json], [out-t3.json], ...  The 1-thread point runs the
+    sequential reference, which has no roles and hence no events, so
+    no [-t1] file is written.
 
     [corrupt] is the gate's self-test: it flips one byte of the first
     parallel output before comparison, which must make {!run} report a

@@ -1,0 +1,314 @@
+type t = {
+  bench : string;
+  source : string;
+  iterations : int;
+  stage_cost : float array;
+  stage_rss : float array;
+  queue_latency : int;
+  spec_rate : ((Ir.Task.phase * Ir.Task.phase) * float) list;
+}
+
+let phase_index = function Ir.Task.A -> 0 | Ir.Task.B -> 1 | Ir.Task.C -> 2
+let phase_name = function Ir.Task.A -> "A" | Ir.Task.B -> "B" | Ir.Task.C -> "C"
+
+let phase_of_name = function
+  | "A" -> Some Ir.Task.A
+  | "B" -> Some Ir.Task.B
+  | "C" -> Some Ir.Task.C
+  | _ -> None
+
+let total_cost t = t.stage_cost.(0) +. t.stage_cost.(1) +. t.stage_cost.(2)
+
+let spec_rate_for t s1 s2 = List.assoc_opt (s1, s2) t.spec_rate
+
+(* The least-squares constant fit over observations x_i is their mean;
+   one pass for the mean, one for the residuals, all deterministic. *)
+let mean_rss obs n =
+  if n = 0 then (0., 0.)
+  else begin
+    let total = ref 0 in
+    for i = 0 to n - 1 do
+      total := !total + obs.(i)
+    done;
+    let mean = float_of_int !total /. float_of_int n in
+    let rss = ref 0. in
+    for i = 0 to n - 1 do
+      let d = float_of_int obs.(i) -. mean in
+      rss := !rss +. (d *. d)
+    done;
+    (mean, !rss)
+  end
+
+let fit ~bench (loop : Input.loop) =
+  let n = Input.iterations loop in
+  (* Per-iteration per-stage work sums: summing within the iteration is
+     what makes the fit invariant under intra-iteration task order. *)
+  let sums = Array.init 3 (fun _ -> Array.make (max 1 n) 0) in
+  Array.iter
+    (fun (tk : Ir.Task.t) ->
+      let p = phase_index tk.Ir.Task.phase in
+      let i = tk.Ir.Task.iteration in
+      sums.(p).(i) <- sums.(p).(i) + tk.Ir.Task.work)
+    loop.Input.tasks;
+  let stage_cost = Array.make 3 0. and stage_rss = Array.make 3 0. in
+  for p = 0 to 2 do
+    let m, r = mean_rss sums.(p) n in
+    stage_cost.(p) <- m;
+    stage_rss.(p) <- r
+  done;
+  (* Speculation rate = fraction of {e adjacent} iteration pairs whose
+     speculated dependence dynamically occurred.  {!Realize} expresses
+     mis-speculation as a distance-1 carried edge (iteration i gates or
+     squashes iteration i+1), so only distance-1 occurrences map onto
+     its cost model: a violation d iterations back constrains a
+     consumer that typically started long after the producer finished
+     and costs next to nothing in the pipeline.  Counting all distances
+     would saturate the rate and serialize the realized loop outright
+     (observed: 0.92 "occurrence" vs 0.18 distance-1 on the
+     speculation-heavy bench).  Distinct destination iterations, not
+     raw edges: several producers violating into the same iteration
+     still cost one squash there. *)
+  let violated : (Ir.Task.phase * Ir.Task.phase, (int, unit) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  List.iter
+    (fun (e : Input.edge) ->
+      if e.Input.speculated then begin
+        let src = loop.Input.tasks.(e.Input.src)
+        and dst = loop.Input.tasks.(e.Input.dst) in
+        if dst.Ir.Task.iteration - src.Ir.Task.iteration = 1 then begin
+          let key = (src.Ir.Task.phase, dst.Ir.Task.phase) in
+          let iters =
+            match Hashtbl.find_opt violated key with
+            | Some s -> s
+            | None ->
+              let s = Hashtbl.create 16 in
+              Hashtbl.add violated key s;
+              s
+          in
+          Hashtbl.replace iters dst.Ir.Task.iteration ()
+        end
+      end)
+    loop.Input.edges;
+  let denom = float_of_int (max 1 (n - 1)) in
+  let spec_rate =
+    Hashtbl.fold
+      (fun key iters acc ->
+        (key, Float.min 1.0 (float_of_int (Hashtbl.length iters) /. denom)) :: acc)
+      violated []
+    |> List.sort compare
+  in
+  {
+    bench;
+    source = "profile";
+    iterations = n;
+    stage_cost;
+    stage_rss;
+    queue_latency = 1;
+    spec_rate;
+  }
+
+(* --- JSON ---------------------------------------------------------- *)
+
+let ( let* ) = Result.bind
+
+let num = function
+  | Obs.Json.Int i -> Some (float_of_int i)
+  | Obs.Json.Float f -> Some f
+  | _ -> None
+
+let field name j =
+  match Obs.Json.member name j with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "calibration: missing field %S" name)
+
+let int_field name j =
+  let* v = field name j in
+  match Obs.Json.to_int v with
+  | Some i -> Ok i
+  | None -> Error (Printf.sprintf "calibration: field %S is not an int" name)
+
+let str_field name j =
+  let* v = field name j in
+  match Obs.Json.to_str v with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "calibration: field %S is not a string" name)
+
+let float3_field name j =
+  let* v = field name j in
+  match Obs.Json.to_list v with
+  | Some [ a; b; c ] -> (
+    match (num a, num b, num c) with
+    | Some a, Some b, Some c ->
+      if
+        List.exists
+          (fun x -> (not (Float.is_finite x)) || x < 0.)
+          [ a; b; c ]
+      then Error (Printf.sprintf "calibration: field %S out of range" name)
+      else Ok [| a; b; c |]
+    | _ -> Error (Printf.sprintf "calibration: field %S is not numeric" name))
+  | _ -> Error (Printf.sprintf "calibration: field %S is not a 3-array" name)
+
+let to_json t =
+  let pair ((s1, s2), rate) =
+    Obs.Json.Obj
+      [
+        ("src", Obs.Json.Str (phase_name s1));
+        ("dst", Obs.Json.Str (phase_name s2));
+        ("rate", Obs.Json.Float rate);
+      ]
+  in
+  Obs.Json.Obj
+    [
+      ("calibration", Obs.Json.Int 1);
+      ("bench", Obs.Json.Str t.bench);
+      ("source", Obs.Json.Str t.source);
+      ("iterations", Obs.Json.Int t.iterations);
+      ( "stage_cost",
+        Obs.Json.Arr (Array.to_list (Array.map (fun f -> Obs.Json.Float f) t.stage_cost)) );
+      ( "stage_rss",
+        Obs.Json.Arr (Array.to_list (Array.map (fun f -> Obs.Json.Float f) t.stage_rss)) );
+      ("queue_latency", Obs.Json.Int t.queue_latency);
+      ("spec_rate", Obs.Json.Arr (List.map pair t.spec_rate));
+    ]
+
+let of_json j =
+  let* marker = int_field "calibration" j in
+  if marker <> 1 then Error "calibration: unknown record version"
+  else
+    let* bench = str_field "bench" j in
+    let* source = str_field "source" j in
+    let* iterations = int_field "iterations" j in
+    if iterations < 0 then Error "calibration: negative iterations"
+    else
+      let* stage_cost = float3_field "stage_cost" j in
+      let* stage_rss = float3_field "stage_rss" j in
+      let* queue_latency = int_field "queue_latency" j in
+      if queue_latency < 0 then Error "calibration: negative queue latency"
+      else
+        let* pairs = field "spec_rate" j in
+        let* pairs =
+          match Obs.Json.to_list pairs with
+          | Some l -> Ok l
+          | None -> Error "calibration: spec_rate is not an array"
+        in
+        let* spec_rate =
+          List.fold_left
+            (fun acc p ->
+              let* acc = acc in
+              let* src = str_field "src" p in
+              let* dst = str_field "dst" p in
+              let* rate = field "rate" p in
+              match (phase_of_name src, phase_of_name dst, num rate) with
+              | Some s1, Some s2, Some r when r >= 0. && r <= 1. ->
+                Ok (((s1, s2), r) :: acc)
+              | _ -> Error "calibration: malformed spec_rate entry")
+            (Ok []) pairs
+        in
+        Ok
+          {
+            bench;
+            source;
+            iterations;
+            stage_cost;
+            stage_rss;
+            queue_latency;
+            spec_rate = List.sort compare spec_rate;
+          }
+
+(* --- probe dumps --------------------------------------------------- *)
+
+let hist_field name j =
+  let* v = field name j in
+  Obs.Hist.of_json v
+
+let of_probe_json j =
+  let* marker = int_field "probe_dump" j in
+  if marker <> 1 then Error "probe dump: unknown record version"
+  else
+    let* bench = str_field "bench" j in
+    let* iterations = int_field "iterations" j in
+    if iterations < 1 then Error "probe dump: no committed iterations"
+    else
+      let* squashes = int_field "squashes" j in
+      let* roles = field "roles" j in
+      let* roles =
+        match Obs.Json.to_list roles with
+        | Some l -> Ok l
+        | None -> Error "probe dump: roles is not an array"
+      in
+      let stage_sum = Array.make 3 0 in
+      let validate_sum = ref 0 in
+      let pop_stall_sum = ref 0 in
+      let pops = ref 0 in
+      let* () =
+        List.fold_left
+          (fun acc role ->
+            let* () = acc in
+            let* name = str_field "role" role in
+            let* items = int_field "items" role in
+            let* stage = hist_field "stage" role in
+            let* pop_stall = hist_field "pop_stall" role in
+            let* validate = hist_field "validate" role in
+            match phase_of_name (String.sub name 0 (min 1 (String.length name))) with
+            | None -> Error (Printf.sprintf "probe dump: unknown role %S" name)
+            | Some ph ->
+              let p = phase_index ph in
+              stage_sum.(p) <- stage_sum.(p) + Obs.Hist.sum stage;
+              pop_stall_sum := !pop_stall_sum + Obs.Hist.sum pop_stall;
+              if ph <> Ir.Task.A then pops := !pops + items;
+              if ph = Ir.Task.C then
+                validate_sum := !validate_sum + Obs.Hist.sum validate;
+              Ok ())
+          (Ok ()) roles
+      in
+      let n = float_of_int iterations in
+      let stage_cost =
+        [|
+          float_of_int stage_sum.(0) /. n;
+          float_of_int stage_sum.(1) /. n;
+          float_of_int (stage_sum.(2) + !validate_sum) /. n;
+        |]
+      in
+      let queue_latency =
+        max 1
+          (int_of_float
+             (Float.round (float_of_int !pop_stall_sum /. float_of_int (max 1 !pops))))
+      in
+      let rate =
+        Float.min 1.0 (float_of_int squashes /. float_of_int (max 1 (iterations - 1)))
+      in
+      let spec_rate = if rate > 0. then [ ((Ir.Task.B, Ir.Task.B), rate) ] else [] in
+      Ok
+        {
+          bench;
+          source = "probe";
+          iterations;
+          stage_cost = Array.map (fun c -> Float.max 0. c) stage_cost;
+          stage_rss = [| 0.; 0.; 0. |];
+          queue_latency;
+          spec_rate;
+        }
+
+let load path =
+  match
+    In_channel.with_open_bin path (fun ic -> In_channel.input_all ic)
+  with
+  | exception Sys_error e -> Error e
+  | text ->
+    let* j = Obs.Json.parse text in
+    (* Dispatch on the record marker: a probe dump (written by
+       [repro profile-real --dump]) is fitted on the fly, a
+       calibration record is validated as-is. *)
+    if Obs.Json.member "probe_dump" j <> None then of_probe_json j
+    else of_json j
+
+let pp ppf t =
+  Format.fprintf ppf
+    "%s (%s, %d iterations): stage costs A %.1f B %.1f C %.1f, queue latency %d"
+    t.bench t.source t.iterations t.stage_cost.(0) t.stage_cost.(1)
+    t.stage_cost.(2) t.queue_latency;
+  List.iter
+    (fun ((s1, s2), r) ->
+      Format.fprintf ppf ", spec %s->%s %.3f" (phase_name s1) (phase_name s2) r)
+    t.spec_rate

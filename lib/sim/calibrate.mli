@@ -1,0 +1,77 @@
+(** Fit {!Realize}'s cost model to a profiled source.
+
+    {!Realize} synthesizes candidate loops from normalized static stage
+    weights, so its absolute speedups drift from the profiled-trace
+    sweeps (they are only comparable within one tournament).  A
+    calibration record closes that gap: measured per-iteration stage
+    costs, a measured queue hand-off latency, and measured speculation
+    rates, fitted from either
+
+    - a resolved profiled trace loop ({!fit}; costs in trace work
+      units), or
+    - a real-run probe dump emitted by [Runtime.Exec.telemetry_to_json]
+      ({!of_probe_json}; costs in microseconds).
+
+    The fit is a deterministic least-squares: the per-stage cost
+    minimizing [sum_i (cost - work_i)^2] over the per-iteration stage
+    work sums [work_i] is their mean, computed exactly in one pass.
+    Because each observation is a {e per-iteration sum}, the fit is
+    invariant under task reordering within an iteration.  The residual
+    sum of squares is kept per stage as a fit-quality signal.  Cost
+    units cancel in speedup ratios, so trace-unit and microsecond
+    calibrations are equally usable — just not mixable.
+
+    Records round-trip through {!Obs.Json} ({!to_json} / {!of_json});
+    {!of_json} and {!load} reject malformed or inconsistent input with
+    [Error], which callers surface as exit code 1. *)
+
+type t = {
+  bench : string;
+  source : string;  (** ["profile"] or ["probe"] *)
+  iterations : int;
+  stage_cost : float array;  (** per-iteration mean cost, indexed A, B, C *)
+  stage_rss : float array;  (** residual sum of squares of each fit *)
+  queue_latency : int;
+      (** inter-stage hand-off latency in cost units; the machine
+          config's [comm_latency] under a calibrated simulation *)
+  spec_rate : ((Ir.Task.phase * Ir.Task.phase) * float) list;
+      (** measured {e adjacent-iteration} violation rate per (producer,
+          consumer) stage pair, each in [0, 1]; sorted by pair.  Only
+          distance-1 occurrences are counted because that is the
+          carried-edge shape {!Realize} synthesizes — a violation many
+          iterations back constrains a consumer that started long
+          after the producer finished and costs next to nothing.
+          {!Core.Plan_search.calibration_report} further refines the
+          B->B rate against the profiled-trace sweep. *)
+}
+
+val fit : bench:string -> Input.loop -> t
+(** Fit from a resolved profiled trace loop: stage costs from the
+    per-iteration phase work sums, speculation rates from the loop's
+    speculated carried edges, [queue_latency] 1 (the default machine's
+    hand-off, which is what the trace sweeps simulate under). *)
+
+val of_probe_json : Obs.Json.t -> (t, string) result
+(** Fit from a [Runtime.Exec] probe dump: stage costs from the roles'
+    stage-latency histogram sums (validation time folded into C),
+    [queue_latency] from mean pop-stall per consumed item, the B->B
+    speculation rate from the squash count. *)
+
+val total_cost : t -> float
+(** Sum of the per-stage costs — the calibrated cost of one iteration. *)
+
+val spec_rate_for : t -> Ir.Task.phase -> Ir.Task.phase -> float option
+
+val to_json : t -> Obs.Json.t
+
+val of_json : Obs.Json.t -> (t, string) result
+
+val load : string -> (t, string) result
+(** Read and parse a calibration file — either a {!to_json} record or
+    a probe dump (dispatching on the [calibration] / [probe_dump]
+    marker, fitting the latter via {!of_probe_json}).  Any I/O,
+    parse, or validation failure is [Error]. *)
+
+val pp : Format.formatter -> t -> unit
+(** One line: source, iterations, stage costs, queue latency, spec
+    rates. *)

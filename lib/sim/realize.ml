@@ -12,7 +12,7 @@ let occurs p i =
   let f x = int_of_float (Float.floor (float_of_int x *. p)) in
   f (i + 1) > f i
 
-let loop pdg ~partition ~enabled ~iterations ?(scale = 100) () =
+let loop pdg ~partition ~enabled ~iterations ?(scale = 100) ?calibration () =
   if iterations < 0 then invalid_arg "Realize.loop: negative iterations";
   if scale < 1 then invalid_arg "Realize.loop: scale must be >= 1";
   let n = Ir.Pdg.node_count pdg in
@@ -21,13 +21,19 @@ let loop pdg ~partition ~enabled ~iterations ?(scale = 100) () =
     (fun (s : Dswp.Partition.stage) ->
       List.iter (fun v -> phase_of.(v) <- s.Dswp.Partition.phase) s.Dswp.Partition.nodes)
     partition.Dswp.Partition.stages;
+  (* Calibrated: the candidate's normalized stage weights split the
+     measured per-iteration cost instead of the synthetic [scale], so
+     realized task works live on the profiled source's cost scale. *)
+  let work_scale =
+    match calibration with
+    | Some c -> Float.max 1.0 (Calibrate.total_cost c)
+    | None -> float_of_int scale
+  in
   let stage_work ph =
     let s = Dswp.Partition.stage partition ph in
     if s.Dswp.Partition.nodes = [] then None
     else begin
-      let w =
-        int_of_float (Float.round (s.Dswp.Partition.weight *. float_of_int scale))
-      in
+      let w = int_of_float (Float.round (s.Dswp.Partition.weight *. work_scale)) in
       Some (if w = 0 && s.Dswp.Partition.weight > 0.0 then 1 else w)
     end
   in
@@ -96,7 +102,19 @@ let loop pdg ~partition ~enabled ~iterations ?(scale = 100) () =
             if
               e.Ir.Pdg.loop_carried
               && not (s1 = s2 && s1 <> Ir.Task.B)
-            then spec_triples := (s1, s2, e.Ir.Pdg.probability) :: !spec_triples
+            then begin
+              (* A measured occurrence rate for this stage pair beats
+                 the PDG's static probability annotation. *)
+              let p =
+                match
+                  Option.bind calibration (fun c ->
+                      Calibrate.spec_rate_for c s1 s2)
+                with
+                | Some r -> r
+                | None -> e.Ir.Pdg.probability
+              in
+              spec_triples := (s1, s2, p) :: !spec_triples
+            end
           | _ -> ()
       end)
     (Ir.Pdg.edges pdg);

@@ -30,8 +30,15 @@ val loop :
   enabled:(Ir.Pdg.breaker -> bool) ->
   iterations:int ->
   ?scale:int ->
+  ?calibration:Calibrate.t ->
   unit ->
   Input.loop
 (** [scale] (default 100) converts normalized stage weights to integer
     work units; a non-empty stage with positive weight gets at least 1.
+    With [?calibration] the stage weights split the calibrated
+    per-iteration cost ({!Calibrate.total_cost}) instead of [scale],
+    and speculated edges use the measured occurrence rate of their
+    stage pair when one was fitted (falling back to the PDG's static
+    probability) — realized speedups then live on the profiled
+    source's cost scale and are comparable to full-trace sweeps.
     Raises [Invalid_argument] on negative [iterations] or [scale < 1]. *)

@@ -348,6 +348,149 @@ let summary_emits_csv_and_json () =
       (Option.map List.length (Option.bind (J.member "spans" v) J.to_list))
   | Error e -> Alcotest.failf "summary json invalid: %s" e
 
+(* ------------------------------------------------------------------ *)
+(* Hist                                                                *)
+
+(* Bucket edges: 0 -> bucket 0, [2^(k-1), 2^k) -> bucket k; the exact
+   count/sum/min/max ride alongside, so mean is exact and quantile is
+   an upper bound clamped to the true max. *)
+let hist_buckets_and_stats () =
+  let h = Obs.Hist.create () in
+  List.iter (Obs.Hist.add h) [ 0; 1; 2; 3; 4; 1000 ];
+  Alcotest.(check int) "count" 6 (Obs.Hist.count h);
+  Alcotest.(check int) "sum" 1010 (Obs.Hist.sum h);
+  Alcotest.(check int) "min" 0 (Obs.Hist.min_value h);
+  Alcotest.(check int) "max" 1000 (Obs.Hist.max_value h);
+  Alcotest.(check (float 1e-9)) "mean exact" (1010. /. 6.) (Obs.Hist.mean h);
+  (* p100 is clamped to the true max, not bucket 10's edge (1023). *)
+  Alcotest.(check int) "p100 clamped" 1000 (Obs.Hist.quantile h 1.0);
+  (* target 3 lands in bucket 2 ([2,4)), whose largest value is 3. *)
+  Alcotest.(check int) "p50 upper bound" 3 (Obs.Hist.quantile h 0.5)
+
+let hist_json_round_trip () =
+  let h = Obs.Hist.create () in
+  List.iter (Obs.Hist.add h) [ 3; 17; 17; 4096; 0; -5 ];
+  match Obs.Hist.of_json (Obs.Hist.to_json h) with
+  | Error e -> Alcotest.failf "of_json failed: %s" e
+  | Ok h' ->
+    Alcotest.(check int) "count" (Obs.Hist.count h) (Obs.Hist.count h');
+    Alcotest.(check int) "sum" (Obs.Hist.sum h) (Obs.Hist.sum h');
+    Alcotest.(check int) "min" (Obs.Hist.min_value h) (Obs.Hist.min_value h');
+    Alcotest.(check int) "max" (Obs.Hist.max_value h) (Obs.Hist.max_value h');
+    Alcotest.(check int) "p95" (Obs.Hist.quantile h 0.95) (Obs.Hist.quantile h' 0.95)
+
+let hist_of_json_rejects_inconsistent () =
+  let bad j =
+    match Obs.Hist.of_json j with
+    | Ok _ -> Alcotest.failf "accepted %s" (J.to_string j)
+    | Error _ -> ()
+  in
+  (* bucket sum disagrees with count *)
+  bad
+    (J.Obj
+       [
+         ("count", J.Int 2);
+         ("sum", J.Int 3);
+         ("min", J.Int 1);
+         ("max", J.Int 2);
+         ("buckets", J.Arr [ J.Arr [ J.Int 1; J.Int 1 ] ]);
+       ]);
+  (* bucket index out of range *)
+  bad
+    (J.Obj
+       [
+         ("count", J.Int 1);
+         ("sum", J.Int 1);
+         ("min", J.Int 1);
+         ("max", J.Int 1);
+         ("buckets", J.Arr [ J.Arr [ J.Int 99; J.Int 1 ] ]);
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* Probe                                                               *)
+
+let probe_ring_wrap () =
+  let p = Obs.Probe.create ~capacity:8 ~domain:0 () in
+  for i = 0 to 19 do
+    Obs.Probe.record p ~kind:1 ~time:i ~a:(10 * i) ~b:i
+  done;
+  Alcotest.(check int) "count is total writes" 20 (Obs.Probe.count p);
+  Alcotest.(check int) "dropped to wrap" 12 (Obs.Probe.dropped p);
+  let es = Obs.Probe.entries p in
+  Alcotest.(check int) "retains capacity" 8 (List.length es);
+  Alcotest.(check (list int)) "oldest retained first"
+    [ 12; 13; 14; 15; 16; 17; 18; 19 ]
+    (List.map (fun (e : Obs.Probe.entry) -> e.Obs.Probe.e_time) es);
+  List.iter
+    (fun (e : Obs.Probe.entry) ->
+      Alcotest.(check int) "payload survives" (10 * e.Obs.Probe.e_time)
+        e.Obs.Probe.e_a;
+      Alcotest.(check int) "seq matches time here" e.Obs.Probe.e_time
+        e.Obs.Probe.e_seq)
+    es
+
+(* The probe exists to sit on the runtime hot path, so both the
+   disabled path (record_opt None) and the enabled path must run
+   without allocating a word.  Gc.minor_words is exact for the
+   allocations of the measuring domain. *)
+let probe_paths_allocation_free () =
+  let p = Obs.Probe.create ~capacity:64 ~domain:0 () in
+  let measure f =
+    let w0 = Gc.minor_words () in
+    f ();
+    Gc.minor_words () -. w0
+  in
+  ignore (measure (fun () -> ()));
+  let disabled =
+    measure (fun () ->
+        for i = 0 to 9_999 do
+          Obs.Probe.record_opt None ~kind:0 ~time:i ~a:i ~b:i
+        done)
+  in
+  Alcotest.(check (float 0.)) "disabled path allocates nothing" 0. disabled;
+  let enabled =
+    measure (fun () ->
+        for i = 0 to 9_999 do
+          Obs.Probe.record p ~kind:0 ~time:i ~a:i ~b:i
+        done)
+  in
+  Alcotest.(check (float 0.)) "enabled path allocates nothing" 0. enabled
+
+(* Cross-domain drain: per-domain probes filled from real domains merge
+   into one deterministic order keyed by (time, domain, seq), whatever
+   the actual interleaving was. *)
+let probe_cross_domain_merge () =
+  let mk d = Obs.Probe.create ~capacity:64 ~domain:d () in
+  let probes = [ mk 0; mk 1; mk 2 ] in
+  let fill p d =
+    (* Same timestamps in every domain: the domain tag must break the
+       ties, giving one canonical interleaving. *)
+    for i = 0 to 9 do
+      Obs.Probe.record p ~kind:d ~time:(i * 2) ~a:d ~b:i
+    done
+  in
+  (match probes with
+  | [ p0; p1; p2 ] ->
+    fill p0 0;
+    let d1 = Domain.spawn (fun () -> fill p1 1) in
+    let d2 = Domain.spawn (fun () -> fill p2 2) in
+    Domain.join d1;
+    Domain.join d2
+  | _ -> assert false);
+  let es = Obs.Probe.merge probes in
+  Alcotest.(check int) "all records" 30 (List.length es);
+  let expected =
+    List.concat_map
+      (fun i -> List.map (fun d -> (i * 2, d, i)) [ 0; 1; 2 ])
+      [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+  in
+  Alcotest.(check (list (triple int int int))) "deterministic (time, domain, seq)"
+    expected
+    (List.map
+       (fun (e : Obs.Probe.entry) ->
+         (e.Obs.Probe.e_time, e.Obs.Probe.e_domain, e.Obs.Probe.e_seq))
+       es)
+
 let () =
   Alcotest.run "obs"
     [
@@ -384,4 +527,17 @@ let () =
           Alcotest.test_case "across pool domains" `Quick span_across_pool_domains;
         ] );
       ("summary", [ Alcotest.test_case "csv and json" `Quick summary_emits_csv_and_json ]);
+      ( "hist",
+        [
+          Alcotest.test_case "buckets and stats" `Quick hist_buckets_and_stats;
+          Alcotest.test_case "json round trip" `Quick hist_json_round_trip;
+          Alcotest.test_case "rejects inconsistent json" `Quick
+            hist_of_json_rejects_inconsistent;
+        ] );
+      ( "probe",
+        [
+          Alcotest.test_case "ring wrap" `Quick probe_ring_wrap;
+          Alcotest.test_case "paths allocation-free" `Quick probe_paths_allocation_free;
+          Alcotest.test_case "cross-domain merge" `Quick probe_cross_domain_merge;
+        ] );
     ]

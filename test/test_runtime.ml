@@ -299,6 +299,86 @@ let sim_vs_real_ordering () =
       true (score >= 0)
   end
 
+(* ------------------------------------------------------------------ *)
+(* Telemetry probes                                                    *)
+
+(* The observability contract: turning probes on must not change a
+   single output byte, at any thread count, including the speculation
+   path (175.vpr squashes and re-executes under probes). *)
+let probes_do_not_change_output () =
+  List.iter
+    (fun name ->
+      let seq = Staged.run_seq (Runtime.Real_bench.staged name) in
+      List.iter
+        (fun threads ->
+          let r =
+            Exec.run ~threads ~name ~probe:true (Runtime.Real_bench.staged name)
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s byte-identical under probes at %d threads" name
+               threads)
+            true
+            (r.Exec.output = seq);
+          Alcotest.(check bool)
+            (Printf.sprintf "%s telemetry present iff parallel (%d threads)" name
+               threads)
+            (threads > 1)
+            (r.Exec.telemetry <> None))
+        [ 1; 2; 3; 4 ])
+    [ "164.gzip"; "175.vpr" ]
+
+let telemetry_is_sane () =
+  let name = "164.gzip" in
+  let staged = Runtime.Real_bench.staged name in
+  let n = Staged.iterations staged in
+  let r = Exec.run ~threads:3 ~name ~probe:true staged in
+  match r.Exec.telemetry with
+  | None -> Alcotest.fail "no telemetry from a probed parallel run"
+  | Some tl ->
+    Alcotest.(check int) "one probe per role" (Array.length r.Exec.stats.Exec.roles)
+      (Array.length tl.Exec.tl_roles);
+    Array.iter
+      (fun rp ->
+        Alcotest.(check bool)
+          (rp.Exec.rp_role ^ " recorded a stage sample per item")
+          true
+          (Obs.Hist.count rp.Exec.rp_stage > 0))
+      tl.Exec.tl_roles;
+    Alcotest.(check bool) "has queue stats" true (tl.Exec.tl_queues <> []);
+    List.iter
+      (fun qs ->
+        Alcotest.(check bool) "high-water within capacity" true
+          (qs.Exec.qs_high_water >= 0 && qs.Exec.qs_high_water <= qs.Exec.qs_capacity);
+        Alcotest.(check int) "every item crossed the queue" n qs.Exec.qs_pushes)
+      tl.Exec.tl_queues;
+    Alcotest.(check int) "nothing dropped at this scale" 0 tl.Exec.tl_dropped
+
+(* A real probe dump must fit a calibration: the microsecond stage
+   histograms become per-iteration stage costs. *)
+let probe_dump_fits_calibration () =
+  let name = "164.gzip" in
+  let staged = Runtime.Real_bench.staged name in
+  let n = Staged.iterations staged in
+  let r = Exec.run ~threads:3 ~name ~probe:true staged in
+  match r.Exec.telemetry with
+  | None -> Alcotest.fail "no telemetry"
+  | Some tl -> (
+    let j = Exec.telemetry_to_json ~name r.Exec.stats tl in
+    (* through text, as `repro plan --calibrate <dump>` reads it *)
+    match Obs.Json.parse (Obs.Json.to_string j) with
+    | Error e -> Alcotest.failf "dump does not re-parse: %s" e
+    | Ok j -> (
+      match Sim.Calibrate.of_probe_json j with
+      | Error e -> Alcotest.failf "of_probe_json: %s" e
+      | Ok cal ->
+        Alcotest.(check string) "source" "probe" cal.Sim.Calibrate.source;
+        Alcotest.(check string) "bench" name cal.Sim.Calibrate.bench;
+        Alcotest.(check int) "iterations" n cal.Sim.Calibrate.iterations;
+        Alcotest.(check bool) "total cost positive" true
+          (Sim.Calibrate.total_cost cal >= 0.);
+        Alcotest.(check bool) "queue latency positive" true
+          (cal.Sim.Calibrate.queue_latency >= 1)))
+
 let () =
   Alcotest.run "runtime"
     [
@@ -322,6 +402,14 @@ let () =
             speculation_squashes_and_recovers;
           Alcotest.test_case "spec benches match with speculation" `Quick
             spec_benches_squash_and_match;
+        ] );
+      ( "probe",
+        [
+          Alcotest.test_case "probes never change output" `Quick
+            probes_do_not_change_output;
+          Alcotest.test_case "telemetry sane" `Quick telemetry_is_sane;
+          Alcotest.test_case "probe dump fits calibration" `Quick
+            probe_dump_fits_calibration;
         ] );
       ( "validate",
         [
