@@ -392,7 +392,14 @@ let lint_cmd =
                    unannotate, strip-rollback. The lint must then fail; used by \
                    scripts/check.sh to prove each diagnostic fires.")
   in
-  let run name scale strict mutate =
+  let json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Also write the findings as JSON to $(docv) (same record shape as \
+                   $(b,repro audit-pdg --json): summary counts plus one object per \
+                   finding with fields kind, severity, where, message, hint).")
+  in
+  let run name scale strict mutate json =
     with_study name (fun study ->
       let pdg = study.Benchmarks.Study.pdg () in
       let plan = study.Benchmarks.Study.plan in
@@ -411,6 +418,13 @@ let lint_cmd =
         | Some k -> Printf.sprintf "plan mutated with %s"
                       (fst (List.find (fun (_, v) -> v = k) mutations)));
       Lint.Diagnostic.pp_report Format.std_formatter findings;
+      (match json with
+      | None -> ()
+      | Some file ->
+        Out_channel.with_open_bin file (fun oc ->
+            Out_channel.output_string oc
+              (Obs.Json.to_string (Lint.Diagnostic.report_to_json findings)));
+        Format.eprintf "lint: %d findings written to %s@." (List.length findings) file);
       (* Cmdliner's term_result reserves its own exit codes; the documented
          contract (0 clean / 1 findings) needs an explicit exit. *)
       let code = Lint.Diagnostic.exit_code ~strict findings in
@@ -424,7 +438,123 @@ let lint_cmd =
              its access logs through a happens-before race detector. Exits 0 when \
              clean, 1 when any error-severity finding exists ($(b,--strict) promotes \
              warnings).")
-    Term.(term_result (const run $ bench_arg $ scale_arg $ strict_arg $ mutate_arg))
+    Term.(term_result
+            (const run $ bench_arg $ scale_arg $ strict_arg $ mutate_arg $ json_arg))
+
+(* Shared by infer/audit-pdg: the study's loop-body IR, or a helpful error. *)
+let with_flow_body (study : Benchmarks.Study.t) f =
+  match study.Benchmarks.Study.flow_body with
+  | Some body -> f body
+  | None ->
+    Error
+      (`Msg
+         (Printf.sprintf
+            "%s has no loop-body IR yet (studies with one: %s)"
+            study.Benchmarks.Study.spec_name
+            (String.concat ", "
+               (List.filter_map
+                  (fun (s : Benchmarks.Study.t) ->
+                    if s.Benchmarks.Study.flow_body <> None then
+                      Some s.Benchmarks.Study.spec_name
+                    else None)
+                  Benchmarks.Registry.all))))
+
+let iterations_arg =
+  Cmdliner.Arg.(
+    value & opt int 200
+    & info [ "iterations" ] ~docv:"N"
+        ~doc:"Reference-interpreter iterations behind the measured probabilities \
+              and distance histograms.")
+
+let infer_cmd =
+  let run name iterations =
+    with_study name (fun study ->
+      with_flow_body study (fun body ->
+        let commutative = study.Benchmarks.Study.plan.Speculation.Spec_plan.commutative in
+        let r = Flow.Infer.run ~commutative ~iterations body in
+        Format.printf "%a@." Flow.Analyze.pp r.Flow.Infer.analysis;
+        Format.printf "measured rates (%d iterations):@." r.Flow.Infer.iterations;
+        List.iter
+          (fun (dep, rate) ->
+            Format.printf "  p=%.3f  %a@." rate (Flow.Analyze.pp_dep body) dep)
+          r.Flow.Infer.rates;
+        Format.printf "@.%a@." Ir.Pdg.pp r.Flow.Infer.pdg;
+        if r.Flow.Infer.histograms <> [] then begin
+          Format.printf "@.carried distance histograms:@.";
+          List.iter
+            (fun (((src, dst), norm), ((_, _), total)) ->
+              Format.printf "  %s->%s (%d obs): %s@."
+                body.Flow.Body.b_regions.(src).Flow.Body.r_label
+                body.Flow.Body.b_regions.(dst).Flow.Body.r_label total
+                (String.concat " "
+                   (List.map (fun (d, f) -> Printf.sprintf "d%d:%.2f" d f) norm)))
+            (List.combine r.Flow.Infer.histograms r.Flow.Infer.hist_totals)
+        end;
+        Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "infer"
+       ~doc:"Run the static dependence analysis on a benchmark's loop-body IR: the \
+             dependence set with its iteration-distance lattice, measured \
+             manifestation rates, the synthesized PDG, and the carried-distance \
+             histograms the realizer can consume.")
+    Term.(term_result (const run $ bench_arg $ iterations_arg))
+
+let audit_cmd =
+  let strict_arg =
+    Arg.(value & flag
+         & info [ "strict" ] ~doc:"Treat warning-severity findings as blocking too.")
+  in
+  let mutate_arg =
+    Arg.(value & opt (some (enum [ ("drop-write", `Drop_write) ])) None
+         & info [ "mutate" ] ~docv:"KIND"
+             ~doc:"Audit a deliberately corrupted copy of the loop-body IR (the \
+                   interpreter still runs the original). $(b,drop-write) removes \
+                   the body's first write, so the soundness layer must report the \
+                   now-unpredicted dependences and exit 1; used by scripts/check.sh \
+                   to prove the audit can fail.")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Also write the findings as JSON to $(docv) (same record shape as \
+                   $(b,repro lint --json)).")
+  in
+  let run name iterations strict mutate json =
+    with_study name (fun study ->
+      with_flow_body study (fun body ->
+        let commutative = study.Benchmarks.Study.plan.Speculation.Spec_plan.commutative in
+        let hand = study.Benchmarks.Study.pdg () in
+        let r = Lint.Audit.check ~iterations ?mutate ~commutative ~hand body in
+        Format.printf "%s %s:@." study.Benchmarks.Study.spec_name
+          (match mutate with
+          | None -> "hand PDG vs inferred"
+          | Some `Drop_write -> "IR mutated with drop-write");
+        Lint.Diagnostic.pp_report Format.std_formatter r.Lint.Audit.diagnostics;
+        (match json with
+        | None -> ()
+        | Some file ->
+          Out_channel.with_open_bin file (fun oc ->
+              Out_channel.output_string oc
+                (Obs.Json.to_string
+                   (Lint.Diagnostic.report_to_json r.Lint.Audit.diagnostics)));
+          Format.eprintf "audit-pdg: %d findings written to %s@."
+            (List.length r.Lint.Audit.diagnostics) file);
+        let code = Lint.Diagnostic.exit_code ~strict r.Lint.Audit.diagnostics in
+        if code <> 0 then exit code;
+        Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "audit-pdg"
+       ~doc:"Audit a benchmark's hand-written PDG against the statically inferred \
+             one: a hand PDG missing an inferred must-dependence (or failing the \
+             interpreter-vs-analysis soundness check) is an error; extra \
+             conservative edges, breaker mismatches and probability/weight drift \
+             are warnings. Exits 0 when clean, 1 when any error-severity finding \
+             exists ($(b,--strict) promotes warnings).")
+    Term.(term_result
+            (const run $ bench_arg $ iterations_arg $ strict_arg $ mutate_arg
+             $ json_arg))
 
 let plan_cmd =
   let beam_arg =
@@ -465,8 +595,42 @@ let plan_cmd =
                    before the ranked table. An unreadable or invalid calibration \
                    file exits 1.")
   in
-  let run name beam budget threads jobs corrupt calibrate scale =
+  let static_distances_arg =
+    Arg.(value & flag
+         & info [ "static-distances" ]
+             ~doc:"Realize candidates with the carried-distance histograms the \
+                   static analysis infers from the benchmark's loop-body IR \
+                   (requires one; see $(b,repro infer)): speculation events spread \
+                   across the observed iteration distances instead of all landing \
+                   at distance 1.")
+  in
+  let run name beam budget threads jobs corrupt calibrate scale static_distances =
     with_study name (fun study ->
+      let distances =
+        if not static_distances then []
+        else
+          match study.Benchmarks.Study.flow_body with
+          | None ->
+            Format.eprintf "plan: %s has no loop-body IR for --static-distances@."
+              study.Benchmarks.Study.spec_name;
+            exit 1
+          | Some body ->
+            let commutative =
+              study.Benchmarks.Study.plan.Speculation.Spec_plan.commutative
+            in
+            let inferred = Flow.Infer.run ~commutative body in
+            (* Fold region-pair histograms onto the hand partition's
+               stage pairs: that is the granularity the realizer keys
+               speculation on. *)
+            let part =
+              Dswp.Partition.partition (study.Benchmarks.Study.pdg ())
+                ~enabled:
+                  (Speculation.Spec_plan.enabled_breakers
+                     study.Benchmarks.Study.plan)
+            in
+            Flow.Infer.distance_histograms inferred
+              ~phase_of:(Dswp.Partition.phase_of_node part)
+      in
       let calibration =
         match calibrate with
         | None -> None
@@ -490,7 +654,7 @@ let plan_cmd =
       with_pool jobs (fun pool ->
           let report =
             Core.Plan_search.run ~pool ~beam ~budget ~threads ~corrupt
-              ?calibration study
+              ?calibration ~distances study
           in
           Core.Plan_search.pp Format.std_formatter report;
           (* Documented contract (cmdliner reserves its own codes, so exit
@@ -525,7 +689,8 @@ let plan_cmd =
              $(b,--calibrate) file).")
     Term.(term_result
             (const run $ bench_arg $ beam_arg $ budget_arg $ plan_threads_arg
-             $ jobs_arg $ corrupt_arg $ calibrate_arg $ scale_arg))
+             $ jobs_arg $ corrupt_arg $ calibrate_arg $ scale_arg
+             $ static_distances_arg))
 
 let profile_real_cmd =
   let threads_arg =
@@ -664,7 +829,7 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           [
-            list_cmd; run_cmd; explain_cmd; lint_cmd; plan_cmd; table1_cmd; table2_cmd;
-            figure_cmd; ablate_cmd; gantt_cmd; chart_cmd; auto_cmd; multistage_cmd;
-            profile_real_cmd; validate_real_cmd;
+            list_cmd; run_cmd; explain_cmd; lint_cmd; infer_cmd; audit_cmd; plan_cmd;
+            table1_cmd; table2_cmd; figure_cmd; ablate_cmd; gantt_cmd; chart_cmd;
+            auto_cmd; multistage_cmd; profile_real_cmd; validate_real_cmd;
           ]))

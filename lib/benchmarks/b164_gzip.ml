@@ -89,6 +89,44 @@ let pdg () =
     ~probability:1.0 ~breaker:Ir.Pdg.Ybranch_annotation ();
   g
 
+(* Loop-body IR mirroring [run_with_policy]: the input pointer is a
+   register recurrence, each block lands in a fresh buffer slot, the
+   dictionary is the Y-branch-resettable memory recurrence, and the
+   output stream serializes phase C.  Region labels match [pdg]. *)
+let flow_body =
+  let open Flow.Body in
+  let input_ptr = Scalar 0 and dictionary = Scalar 1 and output_stream = Scalar 2 in
+  let cur = Affine { stride = 1; offset = 0 } in
+  let block_buf = Elem (0, cur) and out_buf = Elem (1, cur) in
+  {
+    b_name = "164.gzip deflate";
+    b_scalars = [| ("input_ptr", Reg); ("dictionary", Mem); ("output_stream", Mem) |];
+    b_arrays = [| "block_buf"; "out_buf" |];
+    b_regions =
+      [|
+        {
+          r_label = "read_block";
+          r_stmts = [ Read input_ptr; Work 4; Write input_ptr; Write block_buf ];
+        };
+        {
+          r_label = "compress";
+          r_stmts =
+            [
+              Ybranch { probability = 1.0; body = [ Write dictionary ] };
+              Read block_buf;
+              Read dictionary;
+              Work 92;
+              Write dictionary;
+              Write out_buf;
+            ];
+        };
+        {
+          r_label = "write_output";
+          r_stmts = [ Read out_buf; Read output_stream; Work 4; Write output_stream ];
+        };
+      |];
+  }
+
 let study =
   {
     Study.spec_name = "164.gzip";
@@ -109,4 +147,5 @@ let study =
     baseline_plan = None;
     pdg;
     pdg_expected_parallel = [ "compress" ];
+    flow_body = Some flow_body;
   }

@@ -113,4 +113,5 @@ let study =
            ~value_locs:value_speculated_blocks ~control_speculated:true ());
     pdg;
     pdg_expected_parallel = [ "try_swap" ];
+    flow_body = None;
   }

@@ -133,4 +133,5 @@ let study =
            ~value_locs:[ "function_obstack" ] ~control_speculated:true ());
     pdg;
     pdg_expected_parallel = [ "rest_of_compilation" ];
+    flow_body = None;
   }

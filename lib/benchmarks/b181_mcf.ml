@@ -128,6 +128,55 @@ let pdg () =
     ~probability:0.02 ~breaker:Ir.Pdg.Control_speculation ();
   g
 
+(* Loop-body IR for price_out_impl: the mark array is a one-iteration
+   affine recurrence, pricing chases pointer-shaped (Dynamic) reads into
+   earlier marks — the alias the paper speculates — and tests a mark to
+   decide repricing, while candidate collection accumulates into a
+   list.  Region labels match [pdg]. *)
+let flow_body =
+  let open Flow.Body in
+  let cand_list = Scalar 0 in
+  let cur = Affine { stride = 1; offset = 0 } in
+  let prev = Affine { stride = 1; offset = -1 } in
+  {
+    b_name = "181.mcf price_out_impl";
+    b_scalars = [| ("cand_list", Mem) |];
+    b_arrays = [| "marks"; "cand_buf" |];
+    b_regions =
+      [|
+        {
+          r_label = "update_head_mark";
+          r_stmts = [ Read (Elem (0, prev)); Work 5; Write (Elem (0, cur)) ];
+        };
+        {
+          r_label = "price_arcs";
+          r_stmts =
+            [
+              Read (Elem (0, cur));
+              If
+                {
+                  cond =
+                    Test { addr = Elem (0, Dynamic { salt = 3; range = 8 }); modulus = 50 };
+                  then_ = [];
+                  else_ = [];
+                };
+              If
+                {
+                  cond = Every { period = 7; phase = 0 };
+                  then_ = [ Read (Elem (0, Dynamic { salt = 11; range = 8 })) ];
+                  else_ = [];
+                };
+              Work 90;
+              Write (Elem (1, cur));
+            ];
+        };
+        {
+          r_label = "collect_candidates";
+          r_stmts = [ Read (Elem (1, cur)); Read cand_list; Work 5; Write cand_list ];
+        };
+      |];
+  }
+
 let study =
   {
     Study.spec_name = "181.mcf";
@@ -152,4 +201,5 @@ let study =
     baseline_plan = None;
     pdg;
     pdg_expected_parallel = [ "price_arcs" ];
+    flow_body = Some flow_body;
   }

@@ -137,4 +137,5 @@ let study =
     baseline_plan = Some baseline_plan;
     pdg;
     pdg_expected_parallel = [ "search_subtree" ];
+    flow_body = None;
   }

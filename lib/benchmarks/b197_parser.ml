@@ -114,4 +114,5 @@ let study =
            ~sync_locs:[ "echo_mode" ] ());
     pdg;
     pdg_expected_parallel = [ "parse" ];
+    flow_body = None;
   }

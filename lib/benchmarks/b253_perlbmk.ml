@@ -92,4 +92,5 @@ let study =
     baseline_plan = None;
     pdg;
     pdg_expected_parallel = [ "execute_statement" ];
+    flow_body = None;
   }

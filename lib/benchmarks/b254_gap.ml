@@ -124,4 +124,5 @@ let study =
     baseline_plan = Some (Speculation.Spec_plan.make ~alias:Speculation.Spec_plan.Alias_all ());
     pdg;
     pdg_expected_parallel = [ "evaluate" ];
+    flow_body = None;
   }

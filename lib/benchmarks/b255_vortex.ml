@@ -149,4 +149,5 @@ let study =
     baseline_plan = None;
     pdg;
     pdg_expected_parallel = [ "db_operation" ];
+    flow_body = None;
   }

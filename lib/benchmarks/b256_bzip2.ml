@@ -97,4 +97,5 @@ let study =
     baseline_plan = None;
     pdg;
     pdg_expected_parallel = [ "transform_and_code" ];
+    flow_body = None;
   }

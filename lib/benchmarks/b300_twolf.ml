@@ -90,6 +90,67 @@ let commutative_registry () =
     ~rollback:"Yacm_random_set_seed" ();
   c
 
+(* Loop-body IR for uloop: the induction register, the RNG seed hidden
+   behind the Yacm_random commutative call, pointer-shaped block/net
+   touches behind the acceptance test (the speculated alias), the
+   delta-cost acceptance branch (the speculated control), and the cost
+   accumulator.  Region labels match [pdg]. *)
+let flow_body =
+  let open Flow.Body in
+  let iv = Scalar 0 and rand_var = Scalar 1 and delta = Scalar 2 and cost_acc = Scalar 3 in
+  let cur = Affine { stride = 1; offset = 0 } in
+  {
+    b_name = "300.twolf uloop";
+    b_scalars = [| ("iv", Reg); ("randVarS", Mem); ("delta", Reg); ("cost_acc", Mem) |];
+    b_arrays = [| "blocks"; "nets" |];
+    b_regions =
+      [|
+        { r_label = "loop_control"; r_stmts = [ Read iv; Work 2; Write iv ] };
+        {
+          r_label = "ucxx2";
+          r_stmts =
+            [
+              Read iv;
+              Call
+                { fn = "Yacm_random"; body = [ Read rand_var; Work 4; Write rand_var ] };
+              Read (Elem (0, cur));
+              If
+                {
+                  cond = Every { period = 3; phase = 1 };
+                  then_ =
+                    [
+                      Read (Elem (0, Dynamic { salt = 5; range = 8 }));
+                      Read (Elem (1, Dynamic { salt = 9; range = 6 }));
+                    ];
+                  else_ = [];
+                };
+              Work 91;
+              If
+                {
+                  cond = Test { addr = delta; modulus = 100 };
+                  then_ = [];
+                  else_ = [];
+                };
+              If
+                {
+                  cond = Every { period = 4; phase = 2 };
+                  then_ =
+                    [
+                      Write (Elem (0, Dynamic { salt = 13; range = 8 }));
+                      Write (Elem (1, Dynamic { salt = 17; range = 6 }));
+                    ];
+                  else_ = [];
+                };
+              Write delta;
+            ];
+        };
+        {
+          r_label = "commit_cost";
+          r_stmts = [ Read delta; Read cost_acc; Work 3; Write cost_acc ];
+        };
+      |];
+  }
+
 let study =
   {
     Study.spec_name = "300.twolf";
@@ -112,4 +173,5 @@ let study =
            ~control_speculated:true ());
     pdg;
     pdg_expected_parallel = [ "ucxx2" ];
+    flow_body = Some flow_body;
   }

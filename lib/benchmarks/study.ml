@@ -16,6 +16,7 @@ type t = {
   baseline_plan : Speculation.Spec_plan.t option;
   pdg : unit -> Ir.Pdg.t;
   pdg_expected_parallel : string list;
+  flow_body : Flow.Body.t option;
 }
 
 let scale_to_string = function Small -> "small" | Medium -> "medium" | Large -> "large"

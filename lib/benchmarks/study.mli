@@ -36,6 +36,10 @@ type t = {
   pdg : unit -> Ir.Pdg.t;  (** static PDG of the main parallelized loop *)
   pdg_expected_parallel : string list;
       (** PDG node labels the paper's partition puts in stage B *)
+  flow_body : Flow.Body.t option;
+      (** structured loop-body IR of the main parallelized loop, for the
+          static dependence analyzer ([repro infer] / [repro audit-pdg]);
+          regions must be in hand-PDG node order *)
 }
 
 val scale_to_string : scale -> string

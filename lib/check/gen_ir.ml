@@ -224,3 +224,110 @@ let pdg ?(max_nodes = 8) ?(breakers = false) ?(self_deps = false) () =
       Ir.Pdg.add_edge g ~src ~dst ~kind ~loop_carried ~probability ?breaker ())
     selfs;
   return g
+
+(* ------------------------------------------------------------------ *)
+(* Random loop-body IR ({!Flow.Body}) for the dependence-analysis
+   soundness property.  Correct by construction: every value drawn here
+   satisfies [Flow.Body.validate], so a shrunk counterexample is always
+   a runnable body. *)
+
+let flow_index =
+  let open Gen in
+  oneof
+    [
+      map (fun c -> Flow.Body.Fixed c) (int_bound 3);
+      map2
+        (fun stride offset -> Flow.Body.Affine { stride; offset })
+        (int_range (-2) 2) (int_range (-2) 2);
+      map2
+        (fun salt range -> Flow.Body.Dynamic { salt; range })
+        (int_bound 5) (int_range 1 4);
+    ]
+
+let flow_addr ~nscalars ~narrays =
+  let open Gen in
+  let scalar = map (fun s -> Flow.Body.Scalar s) (int_bound (nscalars - 1)) in
+  if narrays = 0 then scalar
+  else
+    oneof
+      [
+        scalar;
+        map2 (fun a idx -> Flow.Body.Elem (a, idx)) (int_bound (narrays - 1)) flow_index;
+      ]
+
+let flow_commutative_fn = "Yacm_gen"
+
+let rec flow_stmt ~nscalars ~narrays ~max_stmts depth =
+  let open Gen in
+  let addr = flow_addr ~nscalars ~narrays in
+  let leaf =
+    [
+      (2, map (fun w -> Flow.Body.Work w) (int_bound 4));
+      (3, map (fun a -> Flow.Body.Read a) addr);
+      (3, map (fun a -> Flow.Body.Write a) addr);
+    ]
+  in
+  if depth = 0 then frequency leaf
+  else
+    let body = flow_stmts ~nscalars ~narrays ~max_stmts (depth - 1) in
+    let cond =
+      oneof
+        [
+          map2
+            (fun period phase -> Flow.Body.Every { period; phase })
+            (int_range 1 4) (int_bound 2);
+          map2
+            (fun addr modulus -> Flow.Body.Test { addr; modulus })
+            addr (int_range 1 4);
+        ]
+    in
+    frequency
+      (leaf
+      @ [
+          ( 1,
+            map3
+              (fun cond then_ else_ -> Flow.Body.If { cond; then_; else_ })
+              cond body body );
+          (1, map2 (fun trips body -> Flow.Body.While { trips; body }) (int_bound 3) body);
+          ( 1,
+            map2
+              (fun fn body -> Flow.Body.Call { fn; body })
+              (oneofl [ flow_commutative_fn; "helper" ])
+              body );
+          ( 1,
+            map2
+              (fun probability body -> Flow.Body.Ybranch { probability; body })
+              (oneofl [ 1.0; 0.5; 0.25 ])
+              body );
+        ])
+
+and flow_stmts ~nscalars ~narrays ~max_stmts depth =
+  Gen.list_size (Gen.int_bound max_stmts) (flow_stmt ~nscalars ~narrays ~max_stmts depth)
+
+let flow_body ?(max_regions = 3) ?(max_stmts = 5) ?(max_depth = 2) () =
+  let open Gen in
+  let* nscalars = int_range 1 3 in
+  let* narrays = int_bound 2 in
+  let* storages =
+    list_size (return nscalars)
+      (map (fun mem -> if mem then Flow.Body.Mem else Flow.Body.Reg) bool)
+  in
+  let* nregions = int_range 1 max_regions in
+  let* regions =
+    list_size (return nregions)
+      (flow_stmts ~nscalars ~narrays ~max_stmts max_depth)
+  in
+  return
+    {
+      Flow.Body.b_name = "gen-body";
+      b_scalars =
+        Array.of_list
+          (List.mapi (fun i st -> (Printf.sprintf "s%d" i, st)) storages);
+      b_arrays = Array.init narrays (Printf.sprintf "a%d");
+      b_regions =
+        Array.of_list
+          (List.mapi
+             (fun i stmts ->
+               { Flow.Body.r_label = Printf.sprintf "r%d" i; r_stmts = stmts })
+             regions);
+    }

@@ -58,3 +58,16 @@ val pdg : ?max_nodes:int -> ?breakers:bool -> ?self_deps:bool -> unit -> Ir.Pdg.
     [breakers] (default false) decorates loop-carried edges with
     kind-appropriate breakers; [self_deps] (default false) adds
     loop-carried self-edges, so the graph is no longer forward-only. *)
+
+val flow_commutative_fn : string
+(** The [Call] function name the generator sometimes emits; annotate it
+    in a {!Annotations.Commutative} registry to exercise the
+    commutative-group paths of the analyzer and interpreter. *)
+
+val flow_body :
+  ?max_regions:int -> ?max_stmts:int -> ?max_depth:int -> unit -> Flow.Body.t Gen.t
+(** Random loop-body IR, always passing [Flow.Body.validate]: 1-3
+    scalars of either storage, up to 2 arrays, [max_regions] (default 3)
+    regions of statement lists nested up to [max_depth] (default 2)
+    levels of If/While/Call/Ybranch.  Shrinks by dropping statements and
+    simplifying indices. *)

@@ -129,7 +129,7 @@ let mirror_binding cfg loop lower_bound =
      else Obs_analysis.Attribution.Crit_path)
 
 let run ~pool ?(beam = 8) ?(budget = 64) ?(threads = 16) ?(iterations = 64)
-    ?(corrupt = false) ?calibration (study : Benchmarks.Study.t) =
+    ?(corrupt = false) ?calibration ?(distances = []) (study : Benchmarks.Study.t) =
   (* Calibrated tournaments realize candidates over the profiled
      source's iteration count (capped — speedup converges once the
      pipeline fill is amortized) so scores live on the trace's scale. *)
@@ -185,7 +185,8 @@ let run ~pool ?(beam = 8) ?(budget = 64) ?(threads = 16) ?(iterations = 64)
         List.exists (fun b' -> b' = b) cand.Dswp.Search.cand_breakers
       in
       let l =
-        Sim.Realize.loop pdg ~partition:part ~enabled ~iterations ?calibration ()
+        Sim.Realize.loop pdg ~partition:part ~enabled ~iterations ?calibration
+          ~distances ()
       in
       Hashtbl.add realized cand.Dswp.Search.cand_id l;
       l

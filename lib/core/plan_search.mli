@@ -46,6 +46,7 @@ val run :
   ?iterations:int ->
   ?corrupt:bool ->
   ?calibration:Sim.Calibrate.t ->
+  ?distances:((Ir.Task.phase * Ir.Task.phase) * (int * float) list) list ->
   Benchmarks.Study.t ->
   report
 (** Defaults: [beam] 8, [budget] 64, [threads] 16 (simulated cores for
@@ -60,7 +61,12 @@ val run :
     calibrated queue latency, and candidates realize over the
     profiled source's iteration count (clamped to [2, 256]) instead
     of [iterations] — so simulated speedups are comparable to the
-    full-trace sweeps, not just to each other. *)
+    full-trace sweeps, not just to each other.
+    [?distances] is forwarded to {!Sim.Realize.loop}: per stage pair,
+    the statically inferred carried-distance histogram
+    ({!Flow.Infer.distance_histograms}) that spreads speculation
+    events across iteration distances instead of assuming distance
+    1. *)
 
 val seed_outcome : report -> Dswp.Search.outcome option
 (** The hand-plan seed's outcome (always simulated unless lint-pruned). *)

@@ -1,0 +1,436 @@
+type dist = Exact of int | At_least of int | Unknown
+
+type dep = {
+  d_src : int;
+  d_dst : int;
+  d_kind : Ir.Dep.kind;
+  d_carried : bool;
+  d_dists : dist list;
+  d_must : bool;
+  d_breaker : Ir.Pdg.breaker option;
+  d_locs : string list;
+}
+
+type t = { body : Body.t; deps : dep list }
+
+(* ------------------------------------------------------------------ *)
+(* Abstract access collection.                                         *)
+
+type acc = {
+  c_region : int;
+  c_pos : int;  (* global walk position; within an iteration, cross-region
+                   dynamic order and (last-instance) intra-region order
+                   both respect it *)
+  c_op : [ `R | `W ];
+  c_idx : Body.index option;  (* None for scalars *)
+  c_must : bool;  (* executes on every iteration *)
+  c_group : string option;
+  c_ybranch : bool;
+  c_ctrl : bool;
+}
+
+let norm_idx = function
+  | Body.Affine { stride = 0; offset } -> Body.Fixed offset
+  | i -> i
+
+let collect ?commutative body =
+  let pos = ref 0 in
+  let by_base : (Body.base, acc list ref) Hashtbl.t = Hashtbl.create 16 in
+  let push base a =
+    let cell =
+      match Hashtbl.find_opt by_base base with
+      | Some r -> r
+      | None ->
+        let r = ref [] in
+        Hashtbl.add by_base base r;
+        r
+    in
+    cell := a :: !cell
+  in
+  let record ~region ~must ~group ~ybranch ~ctrl op addr =
+    let p = !pos in
+    incr pos;
+    let idx =
+      match addr with Body.Scalar _ -> None | Body.Elem (_, i) -> Some (norm_idx i)
+    in
+    push (Body.base_of_addr addr)
+      {
+        c_region = region;
+        c_pos = p;
+        c_op = op;
+        c_idx = idx;
+        c_must = must;
+        c_group = group;
+        c_ybranch = ybranch;
+        c_ctrl = ctrl;
+      }
+  in
+  Array.iteri
+    (fun region r ->
+      let rec go_stmts ~must ~group ~ybranch stmts =
+        List.iter (go_stmt ~must ~group ~ybranch) stmts
+      and go_stmt ~must ~group ~ybranch = function
+        | Body.Work _ -> ()
+        | Body.Read a -> record ~region ~must ~group ~ybranch ~ctrl:false `R a
+        | Body.Write a -> record ~region ~must ~group ~ybranch ~ctrl:false `W a
+        | Body.If { cond; then_; else_ } ->
+          (match cond with
+          | Body.Every _ -> ()
+          | Body.Test { addr; _ } ->
+            record ~region ~must ~group ~ybranch ~ctrl:true `R addr);
+          go_stmts ~must:false ~group ~ybranch then_;
+          go_stmts ~must:false ~group ~ybranch else_
+        | Body.While { trips; body } ->
+          if trips > 0 then go_stmts ~must ~group ~ybranch body
+        | Body.Call { fn; body } ->
+          let g =
+            match commutative with
+            | Some c -> Annotations.Commutative.group_of c ~fn
+            | None -> None
+          in
+          let group = if g <> None then g else group in
+          go_stmts ~must ~group ~ybranch body
+        | Body.Ybranch { body; _ } -> go_stmts ~must:false ~group ~ybranch:true body
+      in
+      go_stmts ~must:true ~group:None ~ybranch:false r.Body.r_stmts)
+    body.Body.b_regions;
+  by_base
+
+(* ------------------------------------------------------------------ *)
+(* Alias geometry.                                                     *)
+
+(* How a writer's and a reader's static indices can name the same cell,
+   as a function of the iteration distance d = reader_iter - writer_iter. *)
+type geom =
+  | G_none
+  | G_all  (* the same cell at every distance (scalars, equal fixed) *)
+  | G_exact of int  (* exactly one distance *)
+  | G_unknown  (* statically unresolvable *)
+
+let geom_of widx ridx =
+  match (widx, ridx) with
+  | None, None -> G_all
+  | Some wi, Some ri -> (
+    match (wi, ri) with
+    | Body.Fixed a, Body.Fixed b -> if a = b then G_all else G_none
+    | Body.Affine { stride = s1; offset = o1 }, Body.Affine { stride = s2; offset = o2 }
+      when s1 = s2 ->
+      (* write touches s*i + o1, read touches s*j + o2: same cell iff
+         j - i = (o1 - o2) / s *)
+      let diff = o1 - o2 in
+      if diff mod s1 <> 0 then G_none
+      else
+        let d = diff / s1 in
+        if d >= 0 then G_exact d else G_none
+    | _ -> G_unknown)
+  | _ ->
+    (* scalar vs array access never share a base *)
+    assert false
+
+(* A writer [w3] occupying iteration slot [k] of the window between the
+   pair's write (iteration i, position pw) and read (iteration i + d,
+   position pr) overwrites the cell strictly in between — provided the
+   boundary slots respect position order. *)
+let slot_ok ~d ~k ~pw ~pr ~p3 =
+  k >= 0 && k <= d && (k > 0 || p3 > pw) && (k < d || p3 < pr)
+
+(* The slots a third writer can provably occupy for this pair's cell:
+   every slot (scalars / same fixed cell), one slot (same-stride affine),
+   or none that is provable. *)
+type cover = C_every | C_slot of int | C_never
+
+let cover_of ~pair_geom ~widx (w3 : acc) =
+  match pair_geom with
+  | `Scalar -> C_every
+  | `Fixed c -> (
+    match w3.c_idx with Some (Body.Fixed c3) when c3 = c -> C_every | _ -> C_never)
+  | `Affine (s, o1) -> (
+    match w3.c_idx with
+    | Some (Body.Affine { stride = s3; offset = o3 }) when s3 = s ->
+      let diff = o1 - o3 in
+      if diff mod s = 0 then C_slot (diff / s) else C_never
+    | _ -> C_never)
+  | `Opaque -> ignore widx; C_never
+
+let covers_at ~d ~pw ~pr (cover, p3) =
+  match cover with
+  | C_never -> false
+  | C_slot k -> slot_ok ~d ~k ~pw ~pr ~p3
+  | C_every ->
+    if d >= 2 then true
+    else slot_ok ~d ~k:0 ~pw ~pr ~p3 || (d >= 1 && slot_ok ~d ~k:d ~pw ~pr ~p3)
+
+(* ------------------------------------------------------------------ *)
+(* Per-pair dependence inference.                                      *)
+
+type elt = {
+  e_src : int;
+  e_dst : int;
+  e_kind : Ir.Dep.kind;
+  e_carried : bool;
+  e_dist : dist;
+  e_must : bool;
+  e_breaker : Ir.Pdg.breaker option;
+  e_base : Body.base;
+}
+
+let run ?commutative body =
+  let by_base = collect ?commutative body in
+  let elts = ref [] in
+  Hashtbl.iter
+    (fun base accs ->
+      let accs = !accs in
+      let writes = List.filter (fun a -> a.c_op = `W) accs in
+      let reads = List.filter (fun a -> a.c_op = `R) accs in
+      let storage = Body.storage_of_base body base in
+      List.iter
+        (fun (r : acc) ->
+          let ybranch_covered =
+            List.exists
+              (fun w3 -> w3.c_ybranch && geom_of w3.c_idx r.c_idx <> G_none)
+              writes
+          in
+          List.iter
+            (fun (w : acc) ->
+              let geom = geom_of w.c_idx r.c_idx in
+              if geom <> G_none then begin
+                let pair_geom =
+                  match (geom, w.c_idx) with
+                  | (G_all | G_exact _), None -> `Scalar
+                  | (G_all | G_exact _), Some (Body.Fixed c) -> `Fixed c
+                  | (G_all | G_exact _), Some (Body.Affine { stride; offset }) ->
+                    `Affine (stride, offset)
+                  | _ -> `Opaque
+                in
+                let pw = w.c_pos and pr = r.c_pos in
+                let blockers =
+                  List.filter_map
+                    (fun w3 ->
+                      if not w3.c_must then None
+                      else
+                        match cover_of ~pair_geom ~widx:w.c_idx w3 with
+                        | C_never -> None
+                        | c -> Some (c, w3.c_pos))
+                    writes
+                in
+                let demoters =
+                  List.filter_map
+                    (fun w3 ->
+                      if w3.c_ybranch then None
+                      else
+                        match cover_of ~pair_geom ~widx:w.c_idx w3 with
+                        | C_never -> None
+                        | c -> Some (c, w3.c_pos))
+                    writes
+                in
+                let blocked d = List.exists (covers_at ~d ~pw ~pr) blockers in
+                let demoted d = List.exists (covers_at ~d ~pw ~pr) demoters in
+                let definite = match geom with G_all | G_exact _ -> true | _ -> false in
+                let kind =
+                  if r.c_ctrl then Ir.Dep.Control
+                  else
+                    match storage with
+                    | Body.Reg -> Ir.Dep.Register
+                    | Body.Mem -> Ir.Dep.Memory
+                in
+                let must_at d =
+                  w.c_must && r.c_must && definite && not (demoted d)
+                in
+                let breaker_for de =
+                  if kind = Ir.Dep.Memory && w.c_group <> None && w.c_group = r.c_group
+                  then
+                    Some
+                      (Ir.Pdg.Commutative_annotation (Option.get w.c_group))
+                  else if kind = Ir.Dep.Memory && ybranch_covered then
+                    Some Ir.Pdg.Ybranch_annotation
+                  else if kind = Ir.Dep.Control then Some Ir.Pdg.Control_speculation
+                  else if kind = Ir.Dep.Memory && de = Unknown then
+                    Some Ir.Pdg.Alias_speculation
+                  else None
+                in
+                let emit ~carried ~de ~must =
+                  (* self-dependences within one iteration are ordinary
+                     sequential execution, not PDG edges *)
+                  if carried || w.c_region <> r.c_region then
+                    elts :=
+                      {
+                        e_src = w.c_region;
+                        e_dst = r.c_region;
+                        e_kind = kind;
+                        e_carried = carried;
+                        e_dist = de;
+                        e_must = must;
+                        e_breaker = (if carried then breaker_for de else None);
+                        e_base = base;
+                      }
+                      :: !elts
+                in
+                (match geom with
+                | G_none -> ()
+                | G_exact 0 ->
+                  if pw < pr && not (blocked 0) then
+                    emit ~carried:false ~de:(Exact 0) ~must:(must_at 0)
+                | G_exact d ->
+                  if not (blocked d) then emit ~carried:true ~de:(Exact d) ~must:(must_at d)
+                | G_all ->
+                  if pw < pr && not (blocked 0) then
+                    emit ~carried:false ~de:(Exact 0) ~must:(must_at 0);
+                  let universal = List.exists (fun (c, _) -> c = C_every) blockers in
+                  if universal then begin
+                    if not (blocked 1) then
+                      emit ~carried:true ~de:(Exact 1) ~must:(must_at 1)
+                  end
+                  else emit ~carried:true ~de:(At_least 1) ~must:false
+                | G_unknown ->
+                  if pw < pr then emit ~carried:false ~de:(Exact 0) ~must:false;
+                  emit ~carried:true ~de:Unknown ~must:false)
+              end)
+            writes)
+        reads)
+    by_base;
+  (* Aggregate per (src, dst, kind, carried, breaker). *)
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun e ->
+      let key = (e.e_src, e.e_dst, e.e_kind, e.e_carried, e.e_breaker) in
+      let must, dists, bases =
+        match Hashtbl.find_opt tbl key with
+        | Some (m, ds, bs) -> (m, ds, bs)
+        | None -> (false, [], [])
+      in
+      Hashtbl.replace tbl key
+        (must || e.e_must, e.e_dist :: dists, e.e_base :: bases))
+    !elts;
+  let dist_order = function Exact d -> (0, d) | At_least d -> (1, d) | Unknown -> (2, 0) in
+  let deps =
+    Hashtbl.fold
+      (fun (src, dst, kind, carried, breaker) (must, dists, bases) acc ->
+        let d_dists =
+          List.sort_uniq (fun a b -> compare (dist_order a) (dist_order b)) dists
+        in
+        let d_locs =
+          List.sort_uniq compare (List.map (Body.base_name body) bases)
+        in
+        {
+          d_src = src;
+          d_dst = dst;
+          d_kind = kind;
+          d_carried = carried;
+          d_dists;
+          d_must = must;
+          d_breaker = breaker;
+          d_locs;
+        }
+        :: acc)
+      tbl []
+  in
+  let deps =
+    List.sort
+      (fun a b ->
+        compare
+          (a.d_src, a.d_dst, Ir.Dep.kind_to_string a.d_kind, a.d_carried, a.d_breaker)
+          (b.d_src, b.d_dst, Ir.Dep.kind_to_string b.d_kind, b.d_carried, b.d_breaker))
+      deps
+  in
+  { body; deps }
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic observation and the soundness predicate.                    *)
+
+type obs = {
+  o_src : int;
+  o_dst : int;
+  o_kind : Ir.Dep.kind;
+  o_dist : int;
+  o_iter : int;
+  o_base : Body.base;
+}
+
+let observe ?commutative ?ybranch ~iterations body =
+  let res = Interp.run ?commutative ?ybranch ~iterations body in
+  let last_write : (Interp.cell, int * int) Hashtbl.t = Hashtbl.create 64 in
+  let obs = ref [] in
+  List.iter
+    (fun (a : Interp.access) ->
+      match a.a_op with
+      | `W -> Hashtbl.replace last_write a.a_cell (a.a_iter, a.a_region)
+      | `R -> (
+        match Hashtbl.find_opt last_write a.a_cell with
+        | None -> ()
+        | Some (wi, wr) ->
+          if not (wi = a.a_iter && wr = a.a_region) then begin
+            let base = Interp.cell_base a.a_cell in
+            let kind =
+              if a.a_ctrl then Ir.Dep.Control
+              else
+                match Body.storage_of_base body base with
+                | Body.Reg -> Ir.Dep.Register
+                | Body.Mem -> Ir.Dep.Memory
+            in
+            obs :=
+              {
+                o_src = wr;
+                o_dst = a.a_region;
+                o_kind = kind;
+                o_dist = a.a_iter - wi;
+                o_iter = a.a_iter;
+                o_base = base;
+              }
+              :: !obs
+          end))
+    res.accesses;
+  List.rev !obs
+
+let compatible de d =
+  match de with Exact k -> d = k | At_least k -> d >= k | Unknown -> true
+
+let predicts t o =
+  let loc = Body.base_name t.body o.o_base in
+  List.exists
+    (fun dep ->
+      dep.d_src = o.o_src && dep.d_dst = o.o_dst && dep.d_kind = o.o_kind
+      && dep.d_carried = (o.o_dist > 0)
+      && List.mem loc dep.d_locs
+      && List.exists (fun de -> compatible de o.o_dist) dep.d_dists)
+    t.deps
+
+let min_distance dists =
+  List.fold_left
+    (fun acc de ->
+      let d = match de with Exact k -> k | At_least k -> k | Unknown -> 1 in
+      min acc d)
+    max_int dists
+
+(* ------------------------------------------------------------------ *)
+
+let pp_dist ppf = function
+  | Exact d -> Format.fprintf ppf "=%d" d
+  | At_least d -> Format.fprintf ppf ">=%d" d
+  | Unknown -> Format.fprintf ppf "?"
+
+let pp_dep body ppf d =
+  let region i = body.Body.b_regions.(i).Body.r_label in
+  Format.fprintf ppf "%s -> %s %s%s %s dist{%s} via %s%s" (region d.d_src)
+    (region d.d_dst)
+    (Ir.Dep.kind_to_string d.d_kind)
+    (if d.d_carried then "/carried" else "")
+    (if d.d_must then "must" else "may")
+    (String.concat ","
+       (List.map (fun de -> Format.asprintf "%a" pp_dist de) d.d_dists))
+    (String.concat "," d.d_locs)
+    (match d.d_breaker with
+    | None -> ""
+    | Some b ->
+      Format.asprintf " [%s]"
+        (match b with
+        | Ir.Pdg.Alias_speculation -> "alias-spec"
+        | Ir.Pdg.Value_speculation -> "value-spec"
+        | Ir.Pdg.Control_speculation -> "control-spec"
+        | Ir.Pdg.Silent_store -> "silent-store"
+        | Ir.Pdg.Commutative_annotation g -> "commutative:" ^ g
+        | Ir.Pdg.Ybranch_annotation -> "ybranch"))
+
+let pp ppf t =
+  Format.fprintf ppf "analysis of %s: %d deps@." t.body.Body.b_name
+    (List.length t.deps);
+  List.iter (fun d -> Format.fprintf ppf "  %a@." (pp_dep t.body) d) t.deps

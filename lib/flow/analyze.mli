@@ -1,0 +1,86 @@
+(** Static dependence analysis over {!Body}.
+
+    The engine computes, per ordered pair of regions, every data and
+    control dependence any execution of the body can exhibit, with an
+    {e iteration-distance lattice} attached to loop-carried ones:
+
+    - [Exact d] — the dependence can only manifest from iteration [i] to
+      [i + d] (affine indices with equal strides, or a scalar recurrence
+      whose must-write kills everything older);
+    - [At_least d] — any distance [>= d] is possible (an unkilled
+      location with no must-write);
+    - [Unknown] — the distance is statically unpredictable (a [Dynamic]
+      index or mismatched affine strides).
+
+    Soundness contract (checked by the [@prop] property in
+    [test_flow.ml], 1000 random bodies): {e every} dependence the
+    reference interpreter observes — in either Y-branch mode — is
+    predicted by {!run} at a compatible distance.  False positives
+    (conservative edges) are expected; false negatives are a bug, ever.
+
+    The analysis is also where breaker eligibility is decided: a
+    loop-carried memory dependence whose endpoints both execute inside
+    the same Commutative group becomes [Commutative_annotation]; one
+    whose location is reset by a Y-branch guarded write becomes
+    [Ybranch_annotation]; carried control dependences are
+    [Control_speculation]; carried may-dependences through statically
+    unresolvable indices are [Alias_speculation]; register recurrences
+    are unbreakable. *)
+
+type dist = Exact of int | At_least of int | Unknown
+
+type dep = {
+  d_src : int;  (** producing region *)
+  d_dst : int;  (** consuming region *)
+  d_kind : Ir.Dep.kind;
+  d_carried : bool;
+  d_dists : dist list;
+      (** possible iteration distances, deduplicated; [[Exact 0]] for
+          intra-iteration dependences *)
+  d_must : bool;
+      (** manifests on every iteration of the original program: both
+          endpoints unconditionally execute, the alias is definite, and
+          no other write can intervene *)
+  d_breaker : Ir.Pdg.breaker option;  (** [None] on intra deps *)
+  d_locs : string list;  (** contributing base locations, sorted *)
+}
+
+type t = { body : Body.t; deps : dep list }
+
+val run : ?commutative:Annotations.Commutative.t -> Body.t -> t
+(** Deps are sorted by (src, dst, kind, carried, breaker). *)
+
+type obs = {
+  o_src : int;
+  o_dst : int;
+  o_kind : Ir.Dep.kind;
+  o_dist : int;  (** 0 = intra-iteration *)
+  o_iter : int;  (** the consuming iteration *)
+  o_base : Body.base;
+}
+(** One dynamically observed dependence: a read whose last writer was a
+    different task.  Same-region same-iteration pairs are sequential
+    within one task and are not dependences between PDG node instances,
+    so they are excluded. *)
+
+val observe :
+  ?commutative:Annotations.Commutative.t ->
+  ?ybranch:[ `Compiler | `Never ] ->
+  iterations:int ->
+  Body.t ->
+  obs list
+
+val compatible : dist -> int -> bool
+(** [compatible lattice_element observed_distance]. *)
+
+val predicts : t -> obs -> bool
+(** Some dependence with matching endpoints, kind, carriedness and
+    location admits the observed distance. *)
+
+val min_distance : dist list -> int
+(** The binding synchronization distance: the least iteration distance
+    any element admits ([Unknown] admits 1). *)
+
+val pp_dep : Body.t -> Format.formatter -> dep -> unit
+
+val pp : Format.formatter -> t -> unit

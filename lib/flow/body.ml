@@ -1,0 +1,197 @@
+type storage = Reg | Mem
+
+type index =
+  | Fixed of int
+  | Affine of { stride : int; offset : int }
+  | Dynamic of { salt : int; range : int }
+
+type addr = Scalar of int | Elem of int * index
+
+type cond =
+  | Every of { period : int; phase : int }
+  | Test of { addr : addr; modulus : int }
+
+type stmt =
+  | Work of int
+  | Read of addr
+  | Write of addr
+  | If of { cond : cond; then_ : stmt list; else_ : stmt list }
+  | While of { trips : int; body : stmt list }
+  | Call of { fn : string; body : stmt list }
+  | Ybranch of { probability : float; body : stmt list }
+
+type region = { r_label : string; r_stmts : stmt list }
+
+type t = {
+  b_name : string;
+  b_scalars : (string * storage) array;
+  b_arrays : string array;
+  b_regions : region array;
+}
+
+type base = B_scalar of int | B_array of int
+
+let base_of_addr = function
+  | Scalar s -> B_scalar s
+  | Elem (a, _) -> B_array a
+
+let base_name t = function
+  | B_scalar s -> fst t.b_scalars.(s)
+  | B_array a -> t.b_arrays.(a)
+
+let storage_of_base t = function
+  | B_scalar s -> snd t.b_scalars.(s)
+  | B_array _ -> Mem
+
+let validate t =
+  let err fmt = Format.kasprintf (fun m -> Error m) fmt in
+  let check_addr = function
+    | Scalar s ->
+      if s < 0 || s >= Array.length t.b_scalars then err "unknown scalar %d" s
+      else Ok ()
+    | Elem (a, idx) ->
+      if a < 0 || a >= Array.length t.b_arrays then err "unknown array %d" a
+      else (
+        match idx with
+        | Dynamic { range; _ } when range < 1 -> err "Dynamic range must be >= 1"
+        | _ -> Ok ())
+  in
+  let ( let* ) r f = match r with Ok () -> f () | Error _ as e -> e in
+  let rec check_stmts = function
+    | [] -> Ok ()
+    | s :: rest ->
+      let* () = check_stmt s in
+      check_stmts rest
+  and check_stmt = function
+    | Work w -> if w < 0 then err "negative Work" else Ok ()
+    | Read a | Write a -> check_addr a
+    | If { cond; then_; else_ } ->
+      let* () =
+        match cond with
+        | Every { period; phase } ->
+          if period < 1 then err "Every period must be >= 1"
+          else if phase < 0 then err "Every phase must be >= 0"
+          else Ok ()
+        | Test { addr; modulus } ->
+          if modulus < 1 then err "Test modulus must be >= 1" else check_addr addr
+      in
+      let* () = check_stmts then_ in
+      check_stmts else_
+    | While { trips; body } ->
+      if trips < 0 then err "While trips must be >= 0" else check_stmts body
+    | Call { body; _ } -> check_stmts body
+    | Ybranch { probability; body } ->
+      if not (probability > 0.0 && probability <= 1.0) then
+        err "Ybranch probability must be in (0, 1]"
+      else check_stmts body
+  in
+  if Array.length t.b_regions = 0 then err "body has no regions"
+  else
+    Array.fold_left
+      (fun acc r -> match acc with Error _ -> acc | Ok () -> check_stmts r.r_stmts)
+      (Ok ()) t.b_regions
+
+let rec stmts_work stmts = List.fold_left (fun acc s -> acc +. stmt_work s) 0.0 stmts
+
+and stmt_work = function
+  | Work w -> float_of_int w
+  | Read _ | Write _ -> 0.0
+  | If { cond; then_; else_ } ->
+    let p =
+      match cond with
+      | Every { period; _ } -> 1.0 /. float_of_int period
+      | Test { modulus; _ } -> 1.0 /. float_of_int modulus
+    in
+    (p *. stmts_work then_) +. ((1.0 -. p) *. stmts_work else_)
+  | While { trips; body } -> float_of_int trips *. stmts_work body
+  | Call { body; _ } -> stmts_work body
+  | Ybranch { probability; body } ->
+    let k = Annotations.Ybranch.interval (Annotations.Ybranch.make ~probability) in
+    stmts_work body /. float_of_int k
+
+let expected_work t = Array.map (fun r -> stmts_work r.r_stmts) t.b_regions
+
+let weights t =
+  let w = expected_work t in
+  let total = Array.fold_left ( +. ) 0.0 w in
+  if total <= 0.0 then Array.map (fun _ -> 1.0 /. float_of_int (Array.length w)) w
+  else Array.map (fun x -> x /. total) w
+
+let drop_write t =
+  let dropped = ref false in
+  let rec go_stmts stmts = List.filter_map go_stmt stmts
+  and go_stmt s =
+    match s with
+    | Write _ when not !dropped ->
+      dropped := true;
+      None
+    | Work _ | Read _ | Write _ -> Some s
+    | If r ->
+      let then_ = go_stmts r.then_ in
+      let else_ = go_stmts r.else_ in
+      Some (If { r with then_; else_ })
+    | While r -> Some (While { r with body = go_stmts r.body })
+    | Call r -> Some (Call { r with body = go_stmts r.body })
+    | Ybranch r -> Some (Ybranch { r with body = go_stmts r.body })
+  in
+  let regions =
+    Array.map (fun r -> { r with r_stmts = go_stmts r.r_stmts }) t.b_regions
+  in
+  if !dropped then Some { t with b_regions = regions } else None
+
+let pp_addr t ppf = function
+  | Scalar s -> Format.fprintf ppf "%s" (fst t.b_scalars.(s))
+  | Elem (a, idx) -> (
+    let name = t.b_arrays.(a) in
+    match idx with
+    | Fixed c -> Format.fprintf ppf "%s[%d]" name c
+    | Affine { stride; offset } -> Format.fprintf ppf "%s[%d*i%+d]" name stride offset
+    | Dynamic { salt; range } -> Format.fprintf ppf "%s[dyn#%d<%d]" name salt range)
+
+let pp ppf t =
+  let rec pp_stmts indent stmts = List.iter (pp_stmt indent) stmts
+  and pp_stmt indent s =
+    let pad = String.make indent ' ' in
+    match s with
+    | Work w -> Format.fprintf ppf "%swork %d@." pad w
+    | Read a -> Format.fprintf ppf "%sread %a@." pad (pp_addr t) a
+    | Write a -> Format.fprintf ppf "%swrite %a@." pad (pp_addr t) a
+    | If { cond; then_; else_ } ->
+      (match cond with
+      | Every { period; phase } ->
+        Format.fprintf ppf "%sif (i+%d) mod %d = 0 {@." pad phase period
+      | Test { addr; modulus } ->
+        Format.fprintf ppf "%sif %a mod %d = 0 {@." pad (pp_addr t) addr modulus);
+      pp_stmts (indent + 2) then_;
+      if else_ <> [] then begin
+        Format.fprintf ppf "%s} else {@." pad;
+        pp_stmts (indent + 2) else_
+      end;
+      Format.fprintf ppf "%s}@." pad
+    | While { trips; body } ->
+      Format.fprintf ppf "%swhile <=%d trips {@." pad trips;
+      pp_stmts (indent + 2) body;
+      Format.fprintf ppf "%s}@." pad
+    | Call { fn; body } ->
+      Format.fprintf ppf "%scall %s {@." pad fn;
+      pp_stmts (indent + 2) body;
+      Format.fprintf ppf "%s}@." pad
+    | Ybranch { probability; body } ->
+      Format.fprintf ppf "%sybranch p=%g {@." pad probability;
+      pp_stmts (indent + 2) body;
+      Format.fprintf ppf "%s}@." pad
+  in
+  Format.fprintf ppf "body %s@." t.b_name;
+  Format.fprintf ppf "  scalars:";
+  Array.iter
+    (fun (n, st) ->
+      Format.fprintf ppf " %s:%s" n (match st with Reg -> "reg" | Mem -> "mem"))
+    t.b_scalars;
+  Format.fprintf ppf "@.  arrays:";
+  Array.iter (fun n -> Format.fprintf ppf " %s" n) t.b_arrays;
+  Format.fprintf ppf "@.";
+  Array.iteri
+    (fun i r ->
+      Format.fprintf ppf "region %d %s:@." i r.r_label;
+      pp_stmts 2 r.r_stmts)
+    t.b_regions

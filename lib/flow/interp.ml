@@ -1,0 +1,139 @@
+type cell = Cell_scalar of int | Cell_elem of int * int
+
+type access = {
+  a_iter : int;
+  a_region : int;
+  a_op : [ `R | `W ];
+  a_cell : cell;
+  a_ctrl : bool;
+  a_group : string option;
+}
+
+type branch = { br_region : int; br_base : Body.base; br_taken : bool }
+
+type result = {
+  accesses : access list;
+  branches : branch list;
+  log : Profiling.Access_log.t;
+  loc_names : (int * string) list;
+}
+
+let cell_base = function
+  | Cell_scalar s -> Body.B_scalar s
+  | Cell_elem (a, _) -> Body.B_array a
+
+let cell_name body = function
+  | Cell_scalar s -> fst body.Body.b_scalars.(s)
+  | Cell_elem (a, e) -> Printf.sprintf "%s[%d]" body.Body.b_arrays.(a) e
+
+(* Deterministic stand-in for a data-dependent index: a fixed integer
+   hash of (iteration, salt), so replaying the body is reproducible and
+   the analyzer can be audited against exact re-runs. *)
+let dyn_hash ~iter ~salt ~range =
+  let h = (iter * 0x9e3779b1) lxor ((salt + 1) * 0x85ebca77) in
+  (h lxor (h lsr 13)) land max_int mod range
+
+let run ?commutative ?(ybranch = `Never) ~iterations body =
+  let nregions = Array.length body.Body.b_regions in
+  let values : (cell, int) Hashtbl.t = Hashtbl.create 64 in
+  let log = Profiling.Access_log.create () in
+  let loc_ids : (cell, int) Hashtbl.t = Hashtbl.create 64 in
+  let loc_names = ref [] in
+  let next_loc = ref 0 in
+  let loc_of cell =
+    match Hashtbl.find_opt loc_ids cell with
+    | Some id -> id
+    | None ->
+      let id = !next_loc in
+      incr next_loc;
+      Hashtbl.add loc_ids cell id;
+      loc_names := (id, cell_name body cell) :: !loc_names;
+      id
+  in
+  let accesses = ref [] in
+  let branches = ref [] in
+  let next_value = ref 0 in
+  let resolve i = function
+    | Body.Scalar s -> Cell_scalar s
+    | Body.Elem (a, idx) ->
+      let e =
+        match idx with
+        | Body.Fixed c -> c
+        | Body.Affine { stride; offset } -> (stride * i) + offset
+        | Body.Dynamic { salt; range } -> dyn_hash ~iter:i ~salt ~range
+      in
+      Cell_elem (a, e)
+  in
+  for i = 0 to iterations - 1 do
+    Array.iteri
+      (fun region r ->
+        let task = (i * nregions) + region in
+        let offset = ref 0 in
+        let record ~ctrl ~group op addr =
+          let cell = resolve i addr in
+          let a_op, log_op =
+            match op with
+            | `R -> (`R, Profiling.Access_log.Read)
+            | `W ->
+              incr next_value;
+              (`W, Profiling.Access_log.Write !next_value)
+          in
+          if op = `W then Hashtbl.replace values cell !next_value;
+          accesses :=
+            { a_iter = i; a_region = region; a_op; a_cell = cell; a_ctrl = ctrl; a_group = group }
+            :: !accesses;
+          Profiling.Access_log.record log ~task ~loc:(loc_of cell) ~op:log_op
+            ?group ~offset:!offset ();
+          match Hashtbl.find_opt values cell with Some v -> v | None -> 0
+        in
+        let rec exec_stmts group stmts = List.iter (exec_stmt group) stmts
+        and exec_stmt group = function
+          | Body.Work w -> offset := !offset + w
+          | Body.Read a -> ignore (record ~ctrl:false ~group `R a)
+          | Body.Write a -> ignore (record ~ctrl:false ~group `W a)
+          | Body.If { cond; then_; else_ } ->
+            let taken =
+              match cond with
+              | Body.Every { period; phase } -> (i + phase) mod period = 0
+              | Body.Test { addr; modulus } ->
+                let v = record ~ctrl:true ~group `R addr in
+                let taken = v mod modulus = 0 in
+                branches :=
+                  { br_region = region; br_base = Body.base_of_addr addr; br_taken = taken }
+                  :: !branches;
+                taken
+            in
+            exec_stmts group (if taken then then_ else else_)
+          | Body.While { trips; body } ->
+            for _ = 1 to trips do
+              exec_stmts group body
+            done
+          | Body.Call { fn; body } ->
+            let g =
+              match commutative with
+              | Some c -> Annotations.Commutative.group_of c ~fn
+              | None -> None
+            in
+            exec_stmts (if g <> None then g else group) body
+          | Body.Ybranch { probability; body } ->
+            let take =
+              match ybranch with
+              | `Never -> false
+              | `Compiler ->
+                let k =
+                  Annotations.Ybranch.interval
+                    (Annotations.Ybranch.make ~probability)
+                in
+                i mod k = 0
+            in
+            if take then exec_stmts group body
+        in
+        exec_stmts None r.Body.r_stmts)
+      body.Body.b_regions
+  done;
+  {
+    accesses = List.rev !accesses;
+    branches = List.rev !branches;
+    log;
+    loc_names = List.rev !loc_names;
+  }

@@ -7,6 +7,7 @@ type edge = {
   loop_carried : bool;
   probability : float;
   breaker : breaker option;
+  distance : int option;
 }
 
 and breaker =
@@ -35,12 +36,19 @@ let add_node t ~label ~weight ?(replicable = false) () =
   t.node_list <- { id; label; weight; replicable } :: t.node_list;
   id
 
-let add_edge t ~src ~dst ~kind ?(loop_carried = false) ?(probability = 1.0) ?breaker () =
+let add_edge t ~src ~dst ~kind ?(loop_carried = false) ?(probability = 1.0) ?breaker
+    ?distance () =
   if src < 0 || src >= t.next_id || dst < 0 || dst >= t.next_id then
     invalid_arg "Pdg.add_edge: unknown node";
   if src = dst && not loop_carried then
     invalid_arg "Pdg.add_edge: self-edge must be loop_carried";
-  t.edge_list <- { src; dst; kind; loop_carried; probability; breaker } :: t.edge_list
+  (match distance with
+  | Some d when not loop_carried ->
+    ignore d;
+    invalid_arg "Pdg.add_edge: distance requires loop_carried"
+  | Some d when d < 1 -> invalid_arg "Pdg.add_edge: distance must be >= 1"
+  | _ -> ());
+  t.edge_list <- { src; dst; kind; loop_carried; probability; breaker; distance } :: t.edge_list
 
 let nodes t = List.rev t.node_list
 
@@ -138,7 +146,8 @@ let pp ppf t =
     (nodes t);
   List.iter
     (fun e ->
-      Format.fprintf ppf "  %d -%s%s-> %d p=%.4f@." e.src (Dep.kind_to_string e.kind)
+      Format.fprintf ppf "  %d -%s%s-> %d p=%.4f%s@." e.src (Dep.kind_to_string e.kind)
         (if e.loop_carried then "/carried" else "")
-        e.dst e.probability)
+        e.dst e.probability
+        (match e.distance with None -> "" | Some d -> Printf.sprintf " d=%d" d))
     (edges t)

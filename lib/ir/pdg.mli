@@ -24,6 +24,10 @@ type edge = {
   loop_carried : bool;
   probability : float;  (** chance the dependence manifests per iteration *)
   breaker : breaker option;  (** how the framework may break this edge *)
+  distance : int option;
+      (** minimum iteration distance at which a loop-carried dependence
+          can manifest, when the analysis (or profile) pins one down;
+          [None] means assume the conservative distance 1 *)
 }
 
 and breaker =
@@ -51,12 +55,15 @@ val add_edge :
   ?loop_carried:bool ->
   ?probability:float ->
   ?breaker:breaker ->
+  ?distance:int ->
   unit ->
   unit
 (** Raises [Invalid_argument] if an endpoint is unknown, or on a self-edge
     that is not loop-carried: within one iteration a region trivially
     depends on itself, so the only meaningful self-edge is the recurrence
-    from one iteration's instance to the next ([loop_carried = true]). *)
+    from one iteration's instance to the next ([loop_carried = true]).
+    [?distance] (iterations, [>= 1]) is only meaningful on loop-carried
+    edges and is rejected otherwise. *)
 
 val nodes : t -> node list
 

@@ -1,0 +1,244 @@
+let breaker_str = function
+  | Ir.Pdg.Alias_speculation -> "alias-spec"
+  | Ir.Pdg.Value_speculation -> "value-spec"
+  | Ir.Pdg.Control_speculation -> "control-spec"
+  | Ir.Pdg.Silent_store -> "silent-store"
+  | Ir.Pdg.Commutative_annotation g -> "commutative:" ^ g
+  | Ir.Pdg.Ybranch_annotation -> "ybranch"
+
+let breaker_opt_str = function None -> "none" | Some b -> breaker_str b
+
+let prob_tolerance = 0.25
+
+let weight_tolerance = 0.1
+
+type result = {
+  diagnostics : Diagnostic.t list;
+  inferred : Flow.Infer.result;
+}
+
+let check ?(iterations = 200) ?mutate ?commutative ~(hand : Ir.Pdg.t) body =
+  let diags = ref [] in
+  let add ~severity ~where ?hint message =
+    diags :=
+      Diagnostic.make ~kind:Diagnostic.Pdg_mismatch ~severity ~where ?hint message
+      :: !diags
+  in
+  let analyzed_body =
+    match mutate with
+    | None -> body
+    | Some `Drop_write -> (
+      match Flow.Body.drop_write body with
+      | Some b -> b
+      | None -> body)
+  in
+  let label i =
+    if i >= 0 && i < Array.length body.Flow.Body.b_regions then
+      body.Flow.Body.b_regions.(i).Flow.Body.r_label
+    else string_of_int i
+  in
+  (* -------------------------------------------------------------- *)
+  (* Layer 1: dynamic soundness.  Every dependence the reference
+     interpreter observes on the ORIGINAL body — in either Y-branch
+     mode — must be predicted by the static analysis of the (possibly
+     mutated) body.  A violation means the analyzed IR disagrees with
+     the program it claims to describe. *)
+  let analysis = Flow.Analyze.run ?commutative analyzed_body in
+  let missed :
+      (int * int * Ir.Dep.kind * bool * Flow.Body.base, int * int * int) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let missed_order = ref [] in
+  List.iter
+    (fun mode ->
+      List.iter
+        (fun (o : Flow.Analyze.obs) ->
+          if not (Flow.Analyze.predicts analysis o) then begin
+            let key =
+              ( o.Flow.Analyze.o_src,
+                o.Flow.Analyze.o_dst,
+                o.Flow.Analyze.o_kind,
+                o.Flow.Analyze.o_dist > 0,
+                o.Flow.Analyze.o_base )
+            in
+            match Hashtbl.find_opt missed key with
+            | Some (n, d, i) -> Hashtbl.replace missed key (n + 1, d, i)
+            | None ->
+              Hashtbl.replace missed key (1, o.Flow.Analyze.o_dist, o.Flow.Analyze.o_iter);
+              missed_order := key :: !missed_order
+          end)
+        (Flow.Analyze.observe ?commutative ~ybranch:mode ~iterations body))
+    [ `Never; `Compiler ];
+  List.iter
+    (fun ((src, dst, kind, carried, base) as key) ->
+      let count, dist, iter = Hashtbl.find missed key in
+      add ~severity:Diagnostic.Error
+        ~where:
+          (Printf.sprintf "%s: %s->%s (%s%s)" body.Flow.Body.b_name (label src)
+             (label dst) (Ir.Dep.kind_to_string kind)
+             (if carried then ", carried" else ""))
+        ~hint:
+          "the loop-body IR disagrees with its own interpreter: fix the IR (or the \
+           analyzer) before trusting the inferred PDG"
+        (Printf.sprintf
+           "interpreter observed a dependence through '%s' (distance %d, first at \
+            iteration %d, %d occurrence%s) that the static analysis does not predict"
+           (Flow.Body.base_name body base)
+           dist iter count
+           (if count = 1 then "" else "s")))
+    (List.rev !missed_order);
+  (* -------------------------------------------------------------- *)
+  (* Layer 2: static-vs-hand diff. *)
+  let inferred = Flow.Infer.run ?commutative ~iterations analyzed_body in
+  let hand_nodes = Array.of_list (Ir.Pdg.nodes hand) in
+  let inf_nodes = Array.of_list (Ir.Pdg.nodes inferred.Flow.Infer.pdg) in
+  let bname = body.Flow.Body.b_name in
+  if Array.length hand_nodes <> Array.length inf_nodes then
+    add ~severity:Diagnostic.Error ~where:bname
+      ~hint:"regions of the loop-body IR must mirror the hand PDG's nodes, in order"
+      (Printf.sprintf "hand PDG has %d nodes but the loop-body IR has %d regions"
+         (Array.length hand_nodes) (Array.length inf_nodes))
+  else
+    Array.iteri
+      (fun i (h : Ir.Pdg.node) ->
+        let inf = inf_nodes.(i) in
+        if h.Ir.Pdg.label <> inf.Ir.Pdg.label then
+          add ~severity:Diagnostic.Error
+            ~where:(Printf.sprintf "%s: node %d" bname i)
+            ~hint:"region labels must match hand PDG node labels positionally"
+            (Printf.sprintf "hand node is labelled '%s' but region %d is '%s'"
+               h.Ir.Pdg.label i inf.Ir.Pdg.label)
+        else begin
+          if Float.abs (h.Ir.Pdg.weight -. inf.Ir.Pdg.weight) > weight_tolerance then
+            add ~severity:Diagnostic.Warning
+              ~where:(Printf.sprintf "%s: node %s" bname h.Ir.Pdg.label)
+              ~hint:"update the hand weight (or the IR's Work costs) so both describe \
+                     the same loop"
+              (Printf.sprintf "weight drift: hand %.2f vs inferred %.2f" h.Ir.Pdg.weight
+                 inf.Ir.Pdg.weight);
+          if h.Ir.Pdg.replicable && not inf.Ir.Pdg.replicable then
+            add ~severity:Diagnostic.Error
+              ~where:(Printf.sprintf "%s: node %s" bname h.Ir.Pdg.label)
+              ~hint:"an unbreakable self-recurrence forbids replication; fix the hand \
+                     PDG or annotate the recurrence"
+              "hand PDG marks this node replicable but the analysis finds an unbroken \
+               carried self-dependence"
+          else if inf.Ir.Pdg.replicable && not h.Ir.Pdg.replicable then
+            add ~severity:Diagnostic.Warning
+              ~where:(Printf.sprintf "%s: node %s" bname h.Ir.Pdg.label)
+              ~hint:"the node could join the replicated stage; consider updating the \
+                     hand PDG"
+              "analysis finds every carried self-dependence breakable but the hand PDG \
+               is not marked replicable"
+        end)
+      hand_nodes;
+  (* Edge diff: exact key first, then modulo breaker. *)
+  let hand_edges = Array.of_list (Ir.Pdg.edges hand) in
+  let hand_matched = Array.make (Array.length hand_edges) false in
+  let edge_where (src, dst, kind, carried) =
+    Printf.sprintf "%s: edge %s->%s (%s%s)" bname (label src) (label dst)
+      (Ir.Dep.kind_to_string kind)
+      (if carried then ", carried" else "")
+  in
+  let find_hand ~exact (dep : Flow.Analyze.dep) =
+    let matches i (e : Ir.Pdg.edge) =
+      (not hand_matched.(i))
+      && e.Ir.Pdg.src = dep.Flow.Analyze.d_src
+      && e.Ir.Pdg.dst = dep.Flow.Analyze.d_dst
+      && e.Ir.Pdg.kind = dep.Flow.Analyze.d_kind
+      && e.Ir.Pdg.loop_carried = dep.Flow.Analyze.d_carried
+      && ((not exact) || e.Ir.Pdg.breaker = dep.Flow.Analyze.d_breaker)
+    in
+    let rec go i =
+      if i >= Array.length hand_edges then None
+      else if matches i hand_edges.(i) then begin
+        hand_matched.(i) <- true;
+        Some hand_edges.(i)
+      end
+      else go (i + 1)
+    in
+    go 0
+  in
+  let paired =
+    List.map
+      (fun ((dep : Flow.Analyze.dep), rate) ->
+        match find_hand ~exact:true dep with
+        | Some e -> (dep, rate, Some (e, true))
+        | None -> (dep, rate, None))
+      inferred.Flow.Infer.rates
+  in
+  let paired =
+    List.map
+      (fun (dep, rate, m) ->
+        match m with
+        | Some _ -> (dep, rate, m)
+        | None -> (
+          match find_hand ~exact:false dep with
+          | Some e -> (dep, rate, Some (e, false))
+          | None -> (dep, rate, None)))
+      paired
+  in
+  List.iter
+    (fun ((dep : Flow.Analyze.dep), rate, m) ->
+      let where =
+        edge_where
+          ( dep.Flow.Analyze.d_src,
+            dep.Flow.Analyze.d_dst,
+            dep.Flow.Analyze.d_kind,
+            dep.Flow.Analyze.d_carried )
+      in
+      match m with
+      | Some (e, exact) ->
+        if not exact then
+          add ~severity:Diagnostic.Warning ~where
+            ~hint:"align the hand edge's breaker with the analyzer's eligibility rules"
+            (Printf.sprintf "breaker mismatch: hand says %s, analysis infers %s"
+               (breaker_opt_str e.Ir.Pdg.breaker)
+               (breaker_opt_str dep.Flow.Analyze.d_breaker));
+        if Float.abs (e.Ir.Pdg.probability -. rate) > prob_tolerance then
+          add ~severity:Diagnostic.Warning ~where
+            ~hint:"re-measure: repro infer prints the observed manifestation rate"
+            (Printf.sprintf "probability drift: hand %.2f vs measured %.2f"
+               e.Ir.Pdg.probability rate);
+        if dep.Flow.Analyze.d_carried then begin
+          let hd = Option.value ~default:1 e.Ir.Pdg.distance in
+          let id = Flow.Analyze.min_distance dep.Flow.Analyze.d_dists in
+          if hd <> id then
+            add ~severity:Diagnostic.Warning ~where
+              ~hint:"attach the inferred minimum distance to the hand edge"
+              (Printf.sprintf "distance mismatch: hand assumes %d, analysis pins %d" hd
+                 id)
+        end
+      | None ->
+        if dep.Flow.Analyze.d_must then
+          add ~severity:Diagnostic.Error ~where
+            ~hint:"a must-dependence the partitioner would miss; add it to the \
+                   registry pdg"
+            (Printf.sprintf
+               "hand PDG is missing an inferred must-dependence through %s"
+               (String.concat "," dep.Flow.Analyze.d_locs))
+        else if dep.Flow.Analyze.d_carried then
+          add ~severity:Diagnostic.Warning ~where
+            ~hint:"conservative carried edge; add it or justify its absence"
+            (Printf.sprintf
+               "hand PDG is missing an inferred carried may-dependence through %s \
+                (measured rate %.2f)"
+               (String.concat "," dep.Flow.Analyze.d_locs)
+               rate)
+        (* Intra-iteration may-dependences are implied by the pipeline's
+           forward queues; their absence from a hand PDG is not a
+           finding. *))
+    paired;
+  Array.iteri
+    (fun i (e : Ir.Pdg.edge) ->
+      if not hand_matched.(i) then
+        add ~severity:Diagnostic.Warning
+          ~where:(edge_where (e.Ir.Pdg.src, e.Ir.Pdg.dst, e.Ir.Pdg.kind, e.Ir.Pdg.loop_carried))
+          ~hint:"stale or mis-targeted edge: repro infer shows the dependences the IR \
+                 actually has"
+          (Printf.sprintf
+             "hand PDG edge (%s, p=%.2f) has no statically inferred counterpart"
+             (breaker_opt_str e.Ir.Pdg.breaker)
+             e.Ir.Pdg.probability))
+    hand_edges;
+  { diagnostics = Diagnostic.sort (List.rev !diags); inferred }

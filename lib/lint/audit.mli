@@ -1,0 +1,42 @@
+(** Hand-PDG audit against the static dependence analysis.
+
+    [check] compares a registry study's hand-written PDG against what
+    {!Flow.Analyze} / {!Flow.Infer} derive from the study's loop-body
+    IR, in two layers:
+
+    {b Soundness} — every dependence the reference interpreter observes
+    running the {e original} body (in both Y-branch modes) must be
+    predicted by the static analysis of the analyzed body.  A violation
+    is an [Error]: the IR (or the analyzer) is wrong.  [?mutate:
+    `Drop_write] analyzes the body with its first write removed while
+    still observing the original — the self-test that proves the audit
+    can actually fail ([repro audit-pdg --mutate drop-write] must
+    exit 1).
+
+    {b Diff} — the inferred PDG is matched against the hand PDG: nodes
+    positionally (labels must agree; weight drift beyond 0.1 and
+    replicability disagreements are findings), edges by
+    (src, dst, kind, carried, breaker) exactly and then modulo breaker.
+    A hand PDG missing an inferred {e must}-dependence is an [Error];
+    missing conservative carried edges, breaker mismatches, probability
+    drift beyond 0.25, and hand edges with no inferred counterpart are
+    [Warning]s.  Missing intra-iteration may-dependences are not
+    reported: the pipeline's forward queues imply them.
+
+    Exit contract (via {!Diagnostic.exit_code}): same as [repro lint] —
+    0 when clean or warnings only, 1 on any error (or any finding under
+    [--strict]). *)
+
+type result = {
+  diagnostics : Diagnostic.t list;  (** sorted, see {!Diagnostic.sort} *)
+  inferred : Flow.Infer.result;  (** the inference the diff ran against *)
+}
+
+val check :
+  ?iterations:int ->
+  ?mutate:[ `Drop_write ] ->
+  ?commutative:Annotations.Commutative.t ->
+  hand:Ir.Pdg.t ->
+  Flow.Body.t ->
+  result
+(** Default [iterations] 200. *)

@@ -1,4 +1,10 @@
-type kind = Race | Unbroken_dep | Bad_annotation | Stage_closure | Deadlock_risk
+type kind =
+  | Race
+  | Unbroken_dep
+  | Bad_annotation
+  | Stage_closure
+  | Deadlock_risk
+  | Pdg_mismatch
 
 type severity = Error | Warning
 
@@ -19,6 +25,7 @@ let kind_name = function
   | Bad_annotation -> "bad-annotation"
   | Stage_closure -> "stage-closure"
   | Deadlock_risk -> "deadlock-risk"
+  | Pdg_mismatch -> "pdg-mismatch"
 
 let severity_name = function Error -> "error" | Warning -> "warning"
 
@@ -52,3 +59,26 @@ let summary ds =
 let pp_report ppf ds =
   List.iter (fun d -> Format.fprintf ppf "%a@." pp d) (sort ds);
   Format.fprintf ppf "lint: %s@." (summary ds)
+
+(* Field order is part of the contract: kind, severity, where, message,
+   hint — the same emitter backs `repro lint --json` and
+   `repro audit-pdg --json`. *)
+let to_json d =
+  Obs.Json.Obj
+    [
+      ("kind", Obs.Json.Str (kind_name d.kind));
+      ("severity", Obs.Json.Str (severity_name d.severity));
+      ("where", Obs.Json.Str d.where);
+      ("message", Obs.Json.Str d.message);
+      ("hint", Obs.Json.Str d.hint);
+    ]
+
+let report_to_json ds =
+  let ds = sort ds in
+  Obs.Json.Obj
+    [
+      ("summary", Obs.Json.Str (summary ds));
+      ("errors", Obs.Json.Int (List.length (errors ds)));
+      ("warnings", Obs.Json.Int (List.length (warnings ds)));
+      ("findings", Obs.Json.Arr (List.map to_json ds));
+    ]

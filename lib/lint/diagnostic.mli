@@ -17,9 +17,19 @@
       intra-iteration edges pointing backward across stages);
     - [Deadlock_risk] — a plan shape known to degrade or wedge the
       runtime (speculation into a serial stage: squash is unavailable
-      there, so recovery serializes — the PR-4 deadlock class). *)
+      there, so recovery serializes — the PR-4 deadlock class);
+    - [Pdg_mismatch] — the hand-written registry PDG disagrees with the
+      statically inferred one ([Lint.Audit]): a missing must-dependence
+      is an error, a missing conservative edge or drifted
+      probability/weight a warning. *)
 
-type kind = Race | Unbroken_dep | Bad_annotation | Stage_closure | Deadlock_risk
+type kind =
+  | Race
+  | Unbroken_dep
+  | Bad_annotation
+  | Stage_closure
+  | Deadlock_risk
+  | Pdg_mismatch
 
 type severity = Error | Warning
 
@@ -60,3 +70,12 @@ val pp_report : Format.formatter -> t list -> unit
 
 val summary : t list -> string
 (** e.g. ["2 errors, 1 warning"] or ["clean"]. *)
+
+val to_json : t -> Obs.Json.t
+(** One finding as an object with stable field order
+    [kind, severity, where, message, hint] — shared by
+    [repro lint --json] and [repro audit-pdg --json]. *)
+
+val report_to_json : t list -> Obs.Json.t
+(** Sorted findings plus the summary counts, as one object
+    [summary, errors, warnings, findings]. *)

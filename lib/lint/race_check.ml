@@ -34,7 +34,8 @@ let check ~(plan : Speculation.Spec_plan.t) ~loc_name (loop : Ir.Trace.loop) log
   let config =
     { Profiling.Mem_profile.silent_stores = plan.Speculation.Spec_plan.silent_stores }
   in
-  let edges = Profiling.Mem_profile.analyze ~config log in
+  let iteration_of id = loop.Ir.Trace.tasks.(id).Ir.Task.iteration in
+  let edges = Profiling.Mem_profile.analyze ~config ~iteration_of log in
   let ntasks = Array.length loop.Ir.Trace.tasks in
   (* Aggregate per (loc, writer phase, reader phase): first example + count. *)
   let agg : (int * Ir.Task.phase * Ir.Task.phase, Profiling.Mem_profile.edge * int ref)
@@ -77,6 +78,13 @@ let check ~(plan : Speculation.Spec_plan.t) ~loc_name (loop : Ir.Trace.loop) log
       let extra =
         if !count > 1 then Printf.sprintf " (%d conflicting pairs)" !count else ""
       in
+      let dist =
+        (* Surface the observed iteration distance so the finding can be
+           checked against the static distance lattice (repro infer). *)
+        match example.Profiling.Mem_profile.distance with
+        | Some d -> Printf.sprintf " at iteration distance %d" d
+        | None -> ""
+      in
       Diagnostic.make ~kind:Diagnostic.Race ~severity:Diagnostic.Error
         ~where:
           (Printf.sprintf "loop '%s', location '%s' (%s/%s)" loop.Ir.Trace.loop_name
@@ -89,7 +97,7 @@ let check ~(plan : Speculation.Spec_plan.t) ~loc_name (loop : Ir.Trace.loop) log
               ends in a Commutative group"
              lname)
         (Printf.sprintf
-           "%s writes and %s reads with no ordering between them and no plan \
+           "%s writes and %s reads%s with no ordering between them and no plan \
             coverage%s"
-           (task src) (task dst) extra))
+           (task src) (task dst) dist extra))
     !order

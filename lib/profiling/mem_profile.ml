@@ -7,6 +7,7 @@ type edge = {
   predicted : bool;
   src_offset : int;
   dst_offset : int;
+  distance : int option;
 }
 
 type config = { silent_stores : bool }
@@ -34,7 +35,7 @@ let fresh_loc () =
     last_read_value = None;
   }
 
-let analyze ?(config = default_config) log =
+let analyze ?(config = default_config) ?iteration_of log =
   let states : (int, loc_state) Hashtbl.t = Hashtbl.create 64 in
   let state loc =
     match Hashtbl.find_opt states loc with
@@ -76,6 +77,11 @@ let analyze ?(config = default_config) log =
               | _ -> None
             in
             let predicted = s.last_read_value = Some v in
+            let distance =
+              match iteration_of with
+              | Some f -> Some (f e.task - f s.writer)
+              | None -> None
+            in
             edges_rev :=
               {
                 src = s.writer;
@@ -86,6 +92,7 @@ let analyze ?(config = default_config) log =
                 predicted;
                 src_offset = s.writer_offset;
                 dst_offset = e.offset;
+                distance;
               }
               :: !edges_rev
           end;
@@ -100,7 +107,8 @@ let cross_iteration (loop : Ir.Trace.loop) edges =
   List.filter (fun e -> iter_of e.src <> iter_of e.dst) edges
 
 let pp_edge ppf e =
-  Format.fprintf ppf "%d->%d loc=%d%s%s%s" e.src e.dst e.loc
+  Format.fprintf ppf "%d->%d loc=%d%s%s%s%s" e.src e.dst e.loc
     (match e.group with Some g -> Printf.sprintf " group=%s" g | None -> "")
     (if e.silent then " silent" else "")
     (if e.predicted then " predicted" else "")
+    (match e.distance with Some d -> Printf.sprintf " d=%d" d | None -> "")

@@ -22,6 +22,11 @@ type edge = {
           this location observed (a last-value predictor succeeds) *)
   src_offset : int;  (** work offset of the write within [src] *)
   dst_offset : int;  (** work offset of the read within [dst] *)
+  distance : int option;
+      (** iteration distance [iter dst - iter src] when [analyze] was
+          given [?iteration_of]; the dynamic counterpart of the static
+          distance lattice ([Flow.Analyze.dist]), so lint findings can be
+          cross-checked against inferred distances *)
 }
 
 type config = {
@@ -32,10 +37,12 @@ type config = {
 
 val default_config : config
 
-val analyze : ?config:config -> Access_log.t -> edge list
+val analyze : ?config:config -> ?iteration_of:(int -> int) -> Access_log.t -> edge list
 (** Extract one edge per (src task, dst task, loc) triple, keeping the
     earliest-read instance (the most constraining one for scheduling).
-    Edges are returned in a deterministic order. *)
+    Edges are returned in a deterministic order.  [?iteration_of] maps a
+    task id to its loop iteration; when given, each edge records its
+    iteration [distance]. *)
 
 val cross_iteration : Ir.Trace.loop -> edge list -> edge list
 (** Keep only edges whose endpoints belong to different iterations —

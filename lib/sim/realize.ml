@@ -12,9 +12,18 @@ let occurs p i =
   let f x = int_of_float (Float.floor (float_of_int x *. p)) in
   f (i + 1) > f i
 
-let loop pdg ~partition ~enabled ~iterations ?(scale = 100) ?calibration () =
+let loop pdg ~partition ~enabled ~iterations ?(scale = 100) ?calibration
+    ?(distances = []) () =
   if iterations < 0 then invalid_arg "Realize.loop: negative iterations";
   if scale < 1 then invalid_arg "Realize.loop: scale must be >= 1";
+  List.iter
+    (fun (_, hist) ->
+      List.iter
+        (fun (d, f) ->
+          if d < 1 then invalid_arg "Realize.loop: distance must be >= 1";
+          if f < 0.0 then invalid_arg "Realize.loop: negative distance weight")
+        hist)
+    distances;
   let n = Ir.Pdg.node_count pdg in
   let phase_of = Array.make (max 1 n) Ir.Task.A in
   List.iter
@@ -75,10 +84,13 @@ let loop pdg ~partition ~enabled ~iterations ?(scale = 100) ?calibration () =
   let surviving (e : Ir.Pdg.edge) =
     match e.Ir.Pdg.breaker with None -> true | Some b -> not (enabled b)
   in
-  let sync_pairs : (Ir.Task.phase * Ir.Task.phase, unit) Hashtbl.t =
+  let edge_distance (e : Ir.Pdg.edge) =
+    match e.Ir.Pdg.distance with Some d -> d | None -> 1
+  in
+  let syncs : ((Ir.Task.phase * Ir.Task.phase) * int, unit) Hashtbl.t =
     Hashtbl.create 8
   in
-  let spec_triples = ref [] in
+  let spec_quads = ref [] in
   List.iter
     (fun (e : Ir.Pdg.edge) ->
       let s1 = phase_of.(e.Ir.Pdg.src) and s2 = phase_of.(e.Ir.Pdg.dst) in
@@ -87,11 +99,12 @@ let loop pdg ~partition ~enabled ~iterations ?(scale = 100) ?calibration () =
           (* Same-stage carried edges ride the serial chains (A, C) or
              are forbidden in B by lint; intra-iteration forward edges
              ride the pipeline structure.  Only carried forward
-             cross-stage edges need explicit synchronization. *)
+             cross-stage edges need explicit synchronization — at the
+             edge's analyzed minimum distance, when it carries one. *)
           if
             e.Ir.Pdg.loop_carried && s1 <> s2
             && Ir.Task.compare_phase s1 s2 < 0
-          then Hashtbl.replace sync_pairs (s1, s2) ()
+          then Hashtbl.replace syncs ((s1, s2), edge_distance e) ()
         end
         else
           match e.Ir.Pdg.breaker with
@@ -113,21 +126,32 @@ let loop pdg ~partition ~enabled ~iterations ?(scale = 100) ?calibration () =
                 | Some r -> r
                 | None -> e.Ir.Pdg.probability
               in
-              spec_triples := (s1, s2, p) :: !spec_triples
+              (* A distance histogram for the stage pair spreads the
+                 edge's occurrences across the measured (or statically
+                 inferred) iteration distances; otherwise the edge's own
+                 minimum distance is used, defaulting to 1. *)
+              match List.assoc_opt (s1, s2) distances with
+              | Some ((_ :: _) as hist) ->
+                List.iter
+                  (fun (d, f) ->
+                    if f > 0.0 then spec_quads := (s1, s2, d, p *. f) :: !spec_quads)
+                  hist
+              | Some [] | None ->
+                spec_quads := (s1, s2, edge_distance e, p) :: !spec_quads
             end
           | _ -> ()
       end)
     (Ir.Pdg.edges pdg);
-  let spec_triples = List.sort_uniq compare !spec_triples in
+  let spec_quads = List.sort_uniq compare !spec_quads in
   let edges = ref [] in
-  Hashtbl.fold (fun pair () acc -> pair :: acc) sync_pairs []
+  Hashtbl.fold (fun key () acc -> key :: acc) syncs []
   |> List.sort compare
-  |> List.iter (fun (s1, s2) ->
-         for i = 0 to iterations - 2 do
+  |> List.iter (fun ((s1, s2), d) ->
+         for i = 0 to iterations - 1 - d do
            edges :=
              {
                Input.src = id_of s1 i;
-               dst = id_of s2 (i + 1);
+               dst = id_of s2 (i + d);
                speculated = false;
                src_offset = 0;
                dst_offset = 0;
@@ -135,18 +159,18 @@ let loop pdg ~partition ~enabled ~iterations ?(scale = 100) ?calibration () =
              :: !edges
          done);
   List.iter
-    (fun (s1, s2, p) ->
-      for i = 0 to iterations - 2 do
+    (fun (s1, s2, d, p) ->
+      for i = 0 to iterations - 1 - d do
         if occurs p i then
           edges :=
             {
               Input.src = id_of s1 i;
-              dst = id_of s2 (i + 1);
+              dst = id_of s2 (i + d);
               speculated = true;
               src_offset = 0;
               dst_offset = 0;
             }
             :: !edges
       done)
-    spec_triples;
+    spec_quads;
   Input.make_loop ~name:(Ir.Pdg.name pdg) ~tasks ~edges:(List.rev !edges)

@@ -31,6 +31,7 @@ val loop :
   iterations:int ->
   ?scale:int ->
   ?calibration:Calibrate.t ->
+  ?distances:((Ir.Task.phase * Ir.Task.phase) * (int * float) list) list ->
   unit ->
   Input.loop
 (** [scale] (default 100) converts normalized stage weights to integer
@@ -41,4 +42,16 @@ val loop :
     stage pair when one was fitted (falling back to the PDG's static
     probability) — realized speedups then live on the profiled
     source's cost scale and are comparable to full-trace sweeps.
-    Raises [Invalid_argument] on negative [iterations] or [scale < 1]. *)
+
+    Iteration distances: an edge whose PDG record carries
+    [distance = Some d] synchronizes (or, speculated, squashes)
+    producer iteration [i] against consumer iteration [i + d] instead
+    of the conservative [i + 1].  [?distances] supplies a per-stage-pair
+    histogram [(d, fraction) list] — e.g. measured by the static
+    analyzer's reference interpreter ({!Flow} via [repro infer]) —
+    that spreads each {e speculated} edge's occurrence rate across
+    several distances, replacing the single-distance model that the
+    ROADMAP flags as the distance-1 calibration bottleneck.
+
+    Raises [Invalid_argument] on negative [iterations], [scale < 1],
+    a histogram distance [< 1] or a negative histogram fraction. *)

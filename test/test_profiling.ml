@@ -99,6 +99,26 @@ let mem_raw_edge () =
   Alcotest.(check int) "src" 0 e.M.src;
   Alcotest.(check int) "dst" 1 e.M.dst
 
+let mem_iteration_distance () =
+  let p = P.create ~name:"t" in
+  let l = P.loc p "shared" in
+  P.begin_loop p "loop";
+  ignore (P.begin_task p ~iteration:0 ~phase:Ir.Task.B ());
+  P.write p l 42;
+  P.end_task p;
+  ignore (P.begin_task p ~iteration:2 ~phase:Ir.Task.B ());
+  P.read p l;
+  P.end_task p;
+  P.end_loop p;
+  let log = P.log_of p "loop" in
+  let iteration_of = function 0 -> 0 | _ -> 2 in
+  (match M.analyze ~iteration_of log with
+  | [ e ] -> Alcotest.(check (option int)) "distance recorded" (Some 2) e.M.distance
+  | es -> Alcotest.failf "expected one edge, got %d" (List.length es));
+  match M.analyze log with
+  | [ e ] -> Alcotest.(check (option int)) "no mapping: no distance" None e.M.distance
+  | es -> Alcotest.failf "expected one edge, got %d" (List.length es)
+
 let mem_no_war_waw () =
   (* Second task writes (WAW) and the first only reads before any write
      (no producer): privatization means no edges at all. *)
@@ -308,6 +328,7 @@ let () =
       ( "mem-profile",
         [
           Alcotest.test_case "RAW edge" `Quick mem_raw_edge;
+          Alcotest.test_case "iteration distance" `Quick mem_iteration_distance;
           Alcotest.test_case "no WAR/WAW" `Quick mem_no_war_waw;
           Alcotest.test_case "silent store" `Quick mem_silent_store_filtered;
           Alcotest.test_case "commutative tag" `Quick mem_commutative_group_tagged;

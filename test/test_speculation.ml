@@ -85,6 +85,7 @@ let mem_edge ?(group = None) ?(predicted = false) src dst loc =
     predicted;
     src_offset = 0;
     dst_offset = 0;
+    distance = None;
   }
 
 let loc_name = function 0 -> "alpha" | 1 -> "beta" | _ -> "gamma"
