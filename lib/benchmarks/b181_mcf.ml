@@ -122,7 +122,10 @@ let pdg () =
   Ir.Pdg.add_edge g ~src:price ~dst:collect ~kind:Ir.Dep.Memory ();
   Ir.Pdg.add_edge g ~src:mark ~dst:mark ~kind:Ir.Dep.Memory ~loop_carried:true ();
   Ir.Pdg.add_edge g ~src:collect ~dst:collect ~kind:Ir.Dep.Memory ~loop_carried:true ();
-  Ir.Pdg.add_edge g ~src:price ~dst:price ~kind:Ir.Dep.Memory ~loop_carried:true
+  (* Pricing reads marks written by earlier iterations' head updates
+     through pointer-shaped arc-head indices; the speculated alias runs
+     mark -> price across iterations, not price against itself. *)
+  Ir.Pdg.add_edge g ~src:mark ~dst:price ~kind:Ir.Dep.Memory ~loop_carried:true
     ~probability:0.15 ~breaker:Ir.Pdg.Alias_speculation ();
   Ir.Pdg.add_edge g ~src:price ~dst:price ~kind:Ir.Dep.Control ~loop_carried:true
     ~probability:0.02 ~breaker:Ir.Pdg.Control_speculation ();
