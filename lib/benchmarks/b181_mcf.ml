@@ -127,7 +127,9 @@ let pdg () =
      mark -> price across iterations, not price against itself. *)
   Ir.Pdg.add_edge g ~src:mark ~dst:price ~kind:Ir.Dep.Memory ~loop_carried:true
     ~probability:0.15 ~breaker:Ir.Pdg.Alias_speculation ();
-  Ir.Pdg.add_edge g ~src:price ~dst:price ~kind:Ir.Dep.Control ~loop_carried:true
+  (* The repricing test reads a mark, so the speculated control
+     dependence also originates at the mark update. *)
+  Ir.Pdg.add_edge g ~src:mark ~dst:price ~kind:Ir.Dep.Control ~loop_carried:true
     ~probability:0.02 ~breaker:Ir.Pdg.Control_speculation ();
   g
 
