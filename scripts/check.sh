@@ -111,6 +111,52 @@ lint_mutation 181.mcf no-alias race
 lint_mutation 186.crafty no-value unbroken-dep
 lint_mutation 197.parser strip-rollback bad-annotation
 
+# PDG-audit gate: every study that ships a loop-body IR must audit
+# clean against it — the interpreter-vs-analysis soundness layer finds
+# no unpredicted dependences, and the hand PDG carries every inferred
+# must-dependence with matching breakers and probabilities.
+audit_benches=()
+for b in $(dune exec bin/repro.exe -- list 2> /dev/null | awk '/^[0-9]+\./ {print $1}'); do
+  out="$(dune exec bin/repro.exe -- audit-pdg -b "$b" 2>&1)" && code=0 || code=$?
+  if grep -q 'has no loop-body IR' <<< "$out"; then
+    continue
+  fi
+  audit_benches+=("$b")
+  if [[ "$code" -ne 0 ]] || ! grep -q 'lint: clean' <<< "$out"; then
+    echo "check.sh: repro audit-pdg is not clean on $b (exit $code):" >&2
+    echo "$out" >&2
+    exit 1
+  fi
+done
+if [[ "${#audit_benches[@]}" -lt 3 ]]; then
+  echo "check.sh: expected >= 3 benches with loop-body IR, found ${#audit_benches[@]}" >&2
+  exit 1
+fi
+
+# Audit self-test: analyzing a drop-write-mutated body while observing
+# the original must trip the soundness layer with exit code 1, proving
+# the audit can actually fail.
+if dune exec bin/repro.exe -- audit-pdg -b 164.gzip --mutate drop-write > /dev/null 2>&1; then
+  echo "check.sh: audit-pdg --mutate drop-write did not fail" >&2
+  exit 1
+fi
+
+# JSON emitters: lint --json and audit-pdg --json share one record
+# shape; both files must parse and carry the stable top-level fields.
+lint_json="$(mktemp -t lint_json.XXXXXX.json)"
+audit_json="$(mktemp -t audit_json.XXXXXX.json)"
+dune exec bin/repro.exe -- lint -b 164.gzip -s small --json "$lint_json" > /dev/null 2>&1
+dune exec bin/repro.exe -- audit-pdg -b 164.gzip --json "$audit_json" > /dev/null 2>&1
+for f in "$lint_json" "$audit_json"; do
+  if ! python3 -c 'import json,sys
+d = json.load(open(sys.argv[1]))
+assert list(d) == ["summary", "errors", "warnings", "findings"], list(d)' "$f"; then
+    echo "check.sh: $f is not a valid findings record" >&2
+    exit 1
+  fi
+done
+rm -f "$lint_json" "$audit_json"
+
 # Perf-regression gate: the bench smokes above appended to
 # BENCH_history.jsonl; fail if the last two entries show a span or
 # speedup regression beyond BENCH_TOLERANCE (default 2%).  Exit codes:
@@ -268,5 +314,5 @@ rm -f "$cal_bad"
 # block).  Exit codes: 0 = ok, 1 = gate failed, 2 = input error.
 dune exec scripts/check_calibration.exe
 
-echo "check.sh: build + runtest + prop + bench smoke (jobs=1 and jobs=${SCALE_JOBS}, identical stdout) + trace smoke + lint gate + perf gate + scaling gate + validate-real smoke + auto-planner gate + telemetry smoke + calibration gate OK (schedules oracle-validated)"
+echo "check.sh: build + runtest + prop + bench smoke (jobs=1 and jobs=${SCALE_JOBS}, identical stdout) + trace smoke + lint gate + pdg-audit gate (${#audit_benches[@]} benches) + perf gate + scaling gate + validate-real smoke + auto-planner gate + telemetry smoke + calibration gate OK (schedules oracle-validated)"
 echo "perf record: BENCH_pipeline.json, BENCH_summary.json, BENCH_summary.csv, BENCH_history.jsonl"
